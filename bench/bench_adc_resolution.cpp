@@ -1,0 +1,62 @@
+// E5 (Section 1, ref [1]): "A 1-bit analog-to-digital converter (ADC) in a
+// noise limited regime, and a 4-bit ADC in a narrowband interferer regime
+// are sufficient." BER vs SAR resolution with and without a strong CW
+// interferer.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE5;
+  bench::print_header("E5 / Section 1",
+                      "1-bit ADC suffices noise-limited; 4-bit with an interferer", seed);
+
+  const double ebn0 = 10.0;
+  sim::Table table({"ADC bits", "BER noise-limited", "BER intf, no notch",
+                    "BER intf + notch", "penalty (notched)"});
+
+  for (int bits : {1, 2, 3, 4, 5, 6}) {
+    txrx::Gen2Config config = sim::gen2_fast();
+    config.sar.bits = bits;
+    config.use_mlse = false;  // isolate the converter effect
+
+    txrx::Gen2LinkOptions clean;
+    clean.payload_bits = 300;
+    clean.ebn0_db = ebn0;
+    clean.run_spectral_monitor = false;
+
+    txrx::Gen2LinkOptions jammed = clean;
+    jammed.interferer = true;
+    jammed.interferer_sir_db = -15.0;
+    jammed.interferer_freq_hz = 140e6;
+    jammed.run_spectral_monitor = true;
+
+    txrx::Gen2LinkOptions defended = jammed;
+    defended.auto_notch = true;  // the paper's mitigation path: monitor + notch
+
+    const auto stop = bench::stop_rule(40, 80000);
+    txrx::Gen2Link link_a(config, seed + static_cast<uint64_t>(bits));
+    txrx::Gen2Link link_b(config, seed + static_cast<uint64_t>(bits));
+    txrx::Gen2Link link_c(config, seed + static_cast<uint64_t>(bits));
+    const sim::BerPoint p_clean = bench::gen2_ber(link_a, clean, stop);
+    const sim::BerPoint p_raw = bench::gen2_ber(link_b, jammed, stop);
+    const sim::BerPoint p_def = bench::gen2_ber(link_c, defended, stop);
+
+    std::string penalty = "--";
+    if (p_clean.ber > 0.0 && p_def.ber > 0.0) {
+      penalty = sim::Table::num(p_def.ber / p_clean.ber, 1) + "x";
+    }
+    table.add_row({sim::Table::integer(bits), sim::Table::sci(p_clean.ber),
+                   sim::Table::sci(p_raw.ber), sim::Table::sci(p_def.ber), penalty});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nShape check (ref [1]'s result): in the noise-limited column the BER is\n"
+              "already near its floor at 1 bit (the classic ~2 dB limiter loss); under a\n"
+              "strong narrowband interferer low-resolution converters clip the composite\n"
+              "signal and collapse, recovering once the resolution reaches ~4 bits --\n"
+              "which is why gen-2 carries 5-bit SARs plus the notch path.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E14: back-end throughput microbenchmarks (google-benchmark). The paper's
+// back end must keep up with a >= 500 MSps converter stream; these numbers
+// show the per-block software cost of the same algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dsp/correlator.h"
+#include "dsp/fft.h"
+#include "dsp/filter_design.h"
+#include "dsp/fir_filter.h"
+#include "equalizer/mlse.h"
+#include "equalizer/rake.h"
+#include "fec/convolutional.h"
+#include "fec/viterbi_decoder.h"
+#include "phy/scrambler.h"
+
+namespace {
+
+using namespace uwb;
+
+void BM_Fft1024(benchmark::State& state) {
+  Rng rng(1);
+  CplxVec x(1024);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    CplxVec copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_FirFilter64Tap(benchmark::State& state) {
+  Rng rng(2);
+  const RealVec taps = dsp::design_lowpass(200e6, 2e9, 64);
+  CplxVec x(4096);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    auto y = dsp::convolve_same(x, taps);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_FirFilter64Tap);
+
+void BM_CorrelatorBank127(benchmark::State& state) {
+  Rng rng(3);
+  const auto chips = phy::to_chips(phy::msequence(7));
+  CplxVec tmpl;
+  for (double c : chips) tmpl.emplace_back(c, 0.0);
+  CplxVec x(4096);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    auto nc = dsp::normalized_correlation(x, tmpl);
+    benchmark::DoNotOptimize(nc.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size() - tmpl.size() + 1));
+}
+BENCHMARK(BM_CorrelatorBank127);
+
+void BM_ViterbiDecodeK7(benchmark::State& state) {
+  Rng rng(4);
+  const fec::ConvCode code = fec::k7_rate_half();
+  const fec::ConvEncoder enc(code);
+  const fec::ViterbiDecoder dec(code);
+  const BitVec info = rng.bits(512);
+  const BitVec coded = enc.encode(info);
+  for (auto _ : state) {
+    auto out = dec.decode_hard(coded);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_ViterbiDecodeK7);
+
+void BM_MlseDemod16State(benchmark::State& state) {
+  Rng rng(5);
+  const std::vector<cplx> g = {cplx{1.0, 0.0}, cplx{0.4, 0.1}, cplx{0.2, -0.1},
+                               cplx{0.1, 0.0}, cplx{0.05, 0.0}};
+  const equalizer::MlseDemodulator mlse(equalizer::MlseConfig{4}, g);
+  CplxVec obs(1024);
+  for (auto& v : obs) v = rng.cgaussian();
+  for (auto _ : state) {
+    auto bits = mlse.demodulate(obs);
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_MlseDemod16State);
+
+void BM_RakeCombine8Finger(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<channel::CirTap> taps;
+  for (int k = 0; k < 8; ++k) {
+    taps.push_back({k * 2e-9, rng.cgaussian()});
+  }
+  const channel::Cir cir(taps);
+  const equalizer::RakeReceiver rake(equalizer::RakeConfig{}, cir, 1e9);
+  CplxVec y(16384);
+  for (auto& v : y) v = rng.cgaussian();
+  const CplxWaveform w(y, 1e9);
+  const equalizer::SymbolTiming timing{0, 10, 1600};
+  for (auto _ : state) {
+    auto soft = rake.demodulate(w, timing);
+    benchmark::DoNotOptimize(soft.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1600);
+}
+BENCHMARK(BM_RakeCombine8Finger);
+
+}  // namespace
+
+BENCHMARK_MAIN();

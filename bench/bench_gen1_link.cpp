@@ -1,0 +1,48 @@
+// E3 (Section 2): "A wireless link of 193 kbps was demonstrated with this
+// transceiver." BER vs Eb/N0 of the gen-1 baseband link (4-bit interleaved
+// flash, PN despreading) against the antipodal theory curve.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE3;
+  bench::print_header("E3 / Section 2", "gen-1 193 kbps link, BER vs Eb/N0", seed);
+
+  txrx::Gen1Config config = sim::gen1_fast();
+  txrx::Gen1Link link(config, seed);
+  std::printf("bit rate %.1f kbps, %d pulses/bit, %d-bit 4-way flash @ 2 GSps\n\n",
+              config.bit_rate_hz() / 1e3, config.pulses_per_bit, config.adc_bits);
+
+  sim::Table table({"Eb/N0", "BER measured", "BER theory (BPSK)", "impl loss"});
+  for (double ebn0 : {4.0, 6.0, 8.0, 10.0}) {
+    txrx::Gen1LinkOptions options;
+    options.ebn0_db = ebn0;
+    options.payload_bits = 48;
+    options.genie_timing = true;
+
+    const auto stop = bench::stop_rule(30, bench::fast_mode() ? 4000 : 20000);
+    const sim::BerPoint point = bench::gen1_ber(link, options, stop);
+    const double theory = bpsk_awgn_ber(from_db(ebn0));
+    // Implementation loss: dB shift needed for theory to match measurement.
+    double loss = 0.0;
+    if (point.ber > 0.0 && point.ber < 0.5) {
+      const double eff = q_function_inv(point.ber);
+      const double eff_ebn0 = eff * eff / 2.0;
+      loss = ebn0 - to_db(eff_ebn0);
+    }
+    table.add_row({sim::Table::db(ebn0, 0), sim::Table::sci(point.ber),
+                   sim::Table::sci(theory),
+                   point.ber > 0.0 ? sim::Table::db(loss) : "n/a"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nShape check: waterfall parallel to the BPSK curve with a small\n"
+              "implementation loss (ADC quantization, sampling phase, interleave\n"
+              "mismatch) -- the operating margin that let the chip demonstrate its\n"
+              "193 kbps link.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 (Fig. 1 / Section 2): "Through further parallelization, packet
+// synchronization is obtained in less than 70 us." Sweeps the correlator-
+// bank parallelism and reports modeled sync time plus Monte-Carlo
+// detection statistics of the two-stage acquisition.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE2;
+  bench::print_header("E2 / Fig. 1", "gen-1 packet sync < 70 us via parallelization", seed);
+
+  const int trials = bench::fast_mode() ? 6 : 20;
+  sim::Table table({"P1 (stage-1)", "P2 (stage-2)", "sync time", "< 70 us", "P(detect)",
+                    "P(timing ok)"});
+
+  for (std::size_t p1 : {8u, 32u, 128u, 648u}) {
+    txrx::Gen1Config config = sim::gen1_nominal();
+    config.acq_parallelism_stage1 = p1;
+
+    txrx::Gen1Link link(config, seed + p1);
+    txrx::Gen1LinkOptions options;
+    options.ebn0_db = 18.0;
+    options.payload_bits = 8;
+    options.genie_timing = false;
+
+    int detected = 0, correct = 0;
+    double sync_time = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const auto trial = link.run_acquisition(options);
+      detected += trial.acq.acquired ? 1 : 0;
+      correct += trial.timing_correct ? 1 : 0;
+      sync_time = trial.acq.sync_time_s;  // deterministic given config
+    }
+    table.add_row({sim::Table::integer(static_cast<long long>(p1)),
+                   sim::Table::integer(static_cast<long long>(config.acq_parallelism_stage2)),
+                   sim::Table::num(sync_time * 1e6, 1) + " us",
+                   sync_time < 70e-6 ? "yes" : "no",
+                   sim::Table::percent(static_cast<double>(detected) / trials, 0),
+                   sim::Table::percent(static_cast<double>(correct) / trials, 0)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nModel: sync = ceil(648/P1) x 8 frames (stage 1) + ceil(127/P2) x 160 frames\n"
+              "(stage 2), frame = 324 ns. The paper's claim holds once the back end carries\n"
+              "on the order of a hundred parallel correlators -- \"further parallelization\".\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E4 (Fig. 3 / Section 3): the 100 Mbps direct-conversion link across
+// 802.15.3a channel models CM1-CM4, with the full back end (channel
+// estimation, RAKE, Viterbi demodulator) against a matched-filter-only
+// receiver. Reproduces the architecture's headline: the programmable back
+// end is what makes 100 Mbps survive 20 ns delay spreads.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE4;
+  bench::print_header("E4 / Fig. 3", "gen-2 100 Mbps link, CM1-CM4, full back end vs MF",
+                      seed);
+
+  const double ebn0_values[] = {8.0, 12.0, 16.0};
+
+  sim::Table table({"channel", "Eb/N0", "BER full (RAKE+MLSE)", "BER MF-only", "gain"});
+  for (int cm = 0; cm <= 4; ++cm) {
+    for (double ebn0 : ebn0_values) {
+      txrx::Gen2Config full = sim::gen2_fast();
+      txrx::Gen2Config mf = full;
+      mf.use_rake = false;
+      mf.use_mlse = false;
+
+      txrx::Gen2LinkOptions options;
+      options.payload_bits = 300;
+      options.cm = cm;
+      options.ebn0_db = ebn0;
+
+      const auto stop = bench::stop_rule(40, 60000);
+      txrx::Gen2Link link_full(full, seed + static_cast<uint64_t>(cm));
+      txrx::Gen2Link link_mf(mf, seed + static_cast<uint64_t>(cm));
+      const sim::BerPoint p_full = bench::gen2_ber(link_full, options, stop);
+      const sim::BerPoint p_mf = bench::gen2_ber(link_mf, options, stop);
+
+      std::string gain = "--";
+      if (p_full.ber > 0.0 && p_mf.ber > 0.0) {
+        gain = sim::Table::num(p_mf.ber / p_full.ber, 1) + "x";
+      } else if (p_full.ber == 0.0 && p_mf.ber > 0.0) {
+        gain = "> " + sim::Table::num(p_mf.ber * static_cast<double>(p_full.bits), 0) + "x";
+      }
+      table.add_row({cm == 0 ? "AWGN" : "CM" + std::to_string(cm),
+                     sim::Table::db(ebn0, 0), sim::Table::sci(p_full.ber),
+                     sim::Table::sci(p_mf.ber), gain});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nShape check: on AWGN both receivers track theory; as the delay spread\n"
+              "grows (CM1 -> CM4, up to ~25 ns vs the 10 ns bit) the MF-only receiver\n"
+              "floors while RAKE+MLSE keeps the 100 Mbps link usable -- the reason the\n"
+              "paper's back end exists.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E8 (Sections 1 and 3): "The inter-symbol interference (ISI) due to
+// multipath can be addressed with a Viterbi demodulator." Matched filter vs
+// RAKE vs RAKE+MLSE across channel severities, plus the MLSE memory
+// (trellis states) knob.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE8;
+  bench::print_header("E8 / Sections 1+3", "Viterbi demodulator (MLSE) vs ISI", seed);
+
+  const double ebn0 = 14.0;
+  sim::Table table({"channel", "MF only", "RAKE(8)", "RAKE+MLSE(8 st)", "MLSE gain"});
+  for (int cm : {1, 2, 3, 4}) {
+    txrx::Gen2Config mf = sim::gen2_fast();
+    mf.use_rake = false;
+    mf.use_mlse = false;
+    txrx::Gen2Config rake = sim::gen2_fast();
+    rake.use_mlse = false;
+    txrx::Gen2Config full = sim::gen2_fast();
+
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 300;
+    options.cm = cm;
+    options.ebn0_db = ebn0;
+
+    const auto stop = bench::stop_rule(40, 60000);
+    txrx::Gen2Link l1(mf, seed + static_cast<uint64_t>(cm));
+    txrx::Gen2Link l2(rake, seed + static_cast<uint64_t>(cm));
+    txrx::Gen2Link l3(full, seed + static_cast<uint64_t>(cm));
+    const auto p1 = bench::gen2_ber(l1, options, stop);
+    const auto p2 = bench::gen2_ber(l2, options, stop);
+    const auto p3 = bench::gen2_ber(l3, options, stop);
+
+    std::string gain = "--";
+    if (p3.ber > 0.0 && p2.ber > 0.0) gain = sim::Table::num(p2.ber / p3.ber, 1) + "x";
+    table.add_row({"CM" + std::to_string(cm), sim::Table::sci(p1.ber), sim::Table::sci(p2.ber),
+                   sim::Table::sci(p3.ber), gain});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // --- MLSE memory sweep (the "States" input of Fig. 3) --------------------
+  std::printf("\nMLSE trellis memory on CM4 (Eb/N0 = %.0f dB):\n\n", ebn0);
+  sim::Table mem_table({"memory", "states", "BER"});
+  for (int memory : {1, 2, 3, 5}) {
+    txrx::Gen2Config config = sim::gen2_fast();
+    config.mlse.memory = memory;
+
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 300;
+    options.cm = 4;
+    options.ebn0_db = ebn0;
+
+    txrx::Gen2Link link(config, seed);
+    const auto stop = bench::stop_rule(40, 60000);
+    const auto point = bench::gen2_ber(link, options, stop);
+    mem_table.add_row({sim::Table::integer(memory), sim::Table::integer(1 << memory),
+                       sim::Table::sci(point.ber)});
+  }
+  std::printf("%s", mem_table.to_string().c_str());
+  std::printf("\nShape check: RAKE fixes energy capture but not ISI; the Viterbi\n"
+              "demodulator buys an extra factor on the dispersive channels, growing\n"
+              "with trellis memory until the channel's ISI span is covered.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E12 (Section 3): the discrete prototype allows "the comparison between
+// different modulation schemes" within a 500 MHz bandwidth. BER vs Eb/N0
+// for BPSK / OOK / 2-PPM / 4-PAM on the same pulse engine, against theory.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE12;
+  bench::print_header("E12 / Section 3", "modulation comparison on the 500 MHz pulse engine",
+                      seed);
+
+  const phy::Modulation schemes[] = {phy::Modulation::kBpsk, phy::Modulation::kOok,
+                                     phy::Modulation::kPpm, phy::Modulation::kPam4};
+
+  sim::Table table({"Eb/N0", "BPSK", "OOK", "2-PPM", "4-PAM"});
+  for (double ebn0 : {6.0, 8.0, 10.0}) {
+    std::vector<std::string> row = {sim::Table::db(ebn0, 0)};
+    for (auto scheme : schemes) {
+      txrx::Gen2Config config = sim::gen2_fast();
+      config.modulation = scheme;
+      config.use_mlse = false;
+
+      txrx::Gen2Link link(config, seed);
+      txrx::Gen2LinkOptions options;
+      options.payload_bits = 400;
+      options.ebn0_db = ebn0;
+
+      const auto stop = bench::stop_rule(40, 100000);
+      row.push_back(sim::Table::sci(bench::gen2_ber(link, options, stop).ber));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nTheory at the same Eb/N0 (for reference):\n\n");
+  sim::Table theory({"Eb/N0", "BPSK", "OOK", "2-PPM", "4-PAM"});
+  for (double ebn0 : {6.0, 8.0, 10.0}) {
+    const double lin = from_db(ebn0);
+    theory.add_row({sim::Table::db(ebn0, 0), sim::Table::sci(bpsk_awgn_ber(lin)),
+                    sim::Table::sci(ook_awgn_ber(lin)), sim::Table::sci(ppm_awgn_ber(lin)),
+                    sim::Table::sci(pam4_awgn_ber(lin))});
+  }
+  std::printf("%s", theory.to_string().c_str());
+  std::printf("\nShape check: BPSK leads by ~3 dB over OOK/PPM (antipodal vs orthogonal),\n"
+              "4-PAM trades ~1.3 dB for double throughput -- the comparison the paper's\n"
+              "discrete prototype was built to run.\n");
+  return 0;
+}

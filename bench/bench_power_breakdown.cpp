@@ -1,0 +1,53 @@
+// E10 (Section 1): "The large complexity required in the synchronization
+// and demodulation of the UWB signal results in more than half of the
+// system power being dissipated in the digital back end and the ADC."
+// Block-level power breakdowns of both generations.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "txrx/power_model.h"
+
+namespace {
+
+void print_breakdown(const char* title, const uwb::txrx::PowerBreakdown& bd) {
+  using uwb::sim::Table;
+  std::printf("%s (total %.1f mW):\n\n", title, bd.total_w() * 1e3);
+  Table table({"block", "group", "power", "share"});
+  for (const auto& block : bd.blocks) {
+    table.add_row({block.name, block.group, Table::num(block.power_w * 1e3, 2) + " mW",
+                   Table::percent(block.power_w / bd.total_w(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n  RF %.1f mW | ADC %.1f mW | Digital %.1f mW\n", bd.group_w("RF") * 1e3,
+              bd.group_w("ADC") * 1e3, bd.group_w("Digital") * 1e3);
+  std::printf("  ADC + digital back end share: %.0f%%  (paper: \"more than half\")\n\n",
+              100.0 * bd.adc_plus_digital_fraction());
+}
+
+}  // namespace
+
+int main() {
+  using namespace uwb;
+  bench::print_header("E10 / Section 1", "power: ADC + digital back end dominate", 0);
+
+  print_breakdown("Generation 1 (0.18 um, baseband, 2 GSps flash)",
+                  txrx::gen1_power(sim::gen1_nominal()));
+  print_breakdown("Generation 2 (direct conversion, 2x 5-bit SAR, RAKE+MLSE)",
+                  txrx::gen2_power(sim::gen2_nominal()));
+
+  // Sensitivity: the share holds across the configuration space.
+  sim::Table sens({"gen-2 configuration", "total", "ADC+digital share"});
+  for (auto [fingers, memory] : {std::pair{2, 1}, std::pair{8, 3}, std::pair{16, 6}}) {
+    txrx::Gen2Config config = sim::gen2_nominal();
+    config.rake.num_fingers = static_cast<std::size_t>(fingers);
+    config.mlse.memory = memory;
+    const auto bd = txrx::gen2_power(config);
+    sens.add_row({"fingers=" + std::to_string(fingers) + ", memory=" + std::to_string(memory),
+                  sim::Table::num(bd.total_w() * 1e3, 1) + " mW",
+                  sim::Table::percent(bd.adc_plus_digital_fraction(), 0)});
+  }
+  std::printf("%s", sens.to_string().c_str());
+  return 0;
+}

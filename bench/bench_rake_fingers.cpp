@@ -1,0 +1,78 @@
+// E7 (Sections 1 and 3): "The energy spread caused by the multipath can be
+// compensated using a RAKE receiver" -- programmable finger count in gen-2.
+// Reports multipath energy capture vs finger count over CM realizations and
+// the BER it buys.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/saleh_valenzuela.h"
+#include "equalizer/rake.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE7;
+  bench::print_header("E7 / Sections 1+3", "RAKE finger count vs energy capture and BER",
+                      seed);
+
+  // --- Energy capture statistics straight from the channel model ----------
+  std::printf("Average fraction of channel energy captured by the N strongest taps\n"
+              "(%d realizations per model):\n\n",
+              bench::fast_mode() ? 40 : 200);
+  sim::Table capture({"model", "N=1", "N=2", "N=4", "N=8", "N=16", "rms spread"});
+  const int realizations = bench::fast_mode() ? 40 : 200;
+  for (int cm = 1; cm <= 4; ++cm) {
+    const channel::SalehValenzuela sv(channel::cm_by_index(cm));
+    Rng rng(seed + static_cast<uint64_t>(cm));
+    double cap[5] = {0, 0, 0, 0, 0};
+    double spread = 0.0;
+    const std::size_t fingers[5] = {1, 2, 4, 8, 16};
+    for (int r = 0; r < realizations; ++r) {
+      const channel::Cir cir = sv.realize(rng);
+      for (int k = 0; k < 5; ++k) cap[k] += cir.energy_capture(fingers[k]);
+      spread += cir.rms_delay_spread();
+    }
+    capture.add_row({"CM" + std::to_string(cm), sim::Table::percent(cap[0] / realizations, 0),
+                     sim::Table::percent(cap[1] / realizations, 0),
+                     sim::Table::percent(cap[2] / realizations, 0),
+                     sim::Table::percent(cap[3] / realizations, 0),
+                     sim::Table::percent(cap[4] / realizations, 0),
+                     sim::Table::num(spread / realizations * 1e9, 1) + " ns"});
+  }
+  std::printf("%s", capture.to_string().c_str());
+
+  // --- BER vs finger count on CM2 (full receiver: RAKE + MLSE) -------------
+  std::printf("\nBER at 100 Mbps, CM2, Eb/N0 = 12 dB (selective RAKE + MLSE):\n\n");
+  sim::Table ber_table({"fingers", "BER", "RAKE capture (rx estimate)"});
+  for (std::size_t fingers : {1u, 2u, 4u, 8u, 16u}) {
+    txrx::Gen2Config config = sim::gen2_fast();
+    config.rake.num_fingers = fingers;
+
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 300;
+    options.cm = 2;
+    options.ebn0_db = 12.0;
+
+    txrx::Gen2Link link(config, seed);
+    const auto stop = bench::stop_rule(40, 60000);
+    double capture_acc = 0.0;
+    std::size_t packets = 0;
+    const sim::BerPoint point = sim::measure_ber(
+        [&]() {
+          const auto trial = link.run_packet(options);
+          capture_acc += trial.rx.rake_energy_capture;
+          ++packets;
+          return sim::TrialOutcome{trial.bits, trial.errors};
+        },
+        stop);
+    ber_table.add_row({sim::Table::integer(static_cast<long long>(fingers)),
+                       sim::Table::sci(point.ber),
+                       sim::Table::percent(capture_acc / static_cast<double>(packets), 0)});
+  }
+  std::printf("%s", ber_table.to_string().c_str());
+  std::printf("\nShape check: capture (and BER) improve steeply up to ~4-8 fingers, then\n"
+              "saturate -- the knee that makes a *programmable* finger count a power\n"
+              "knob (E13) rather than a fixed design choice.\n");
+  return 0;
+}

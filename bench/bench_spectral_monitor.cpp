@@ -1,0 +1,84 @@
+// E9 (Section 3): "The digital back end detects the presence of an
+// interferer and estimates its frequency that may be used in the front end
+// notch filter." Detection probability and frequency accuracy vs SIR, and
+// the BER recovered by closing the monitor -> notch loop.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace uwb;
+  const uint64_t seed = 0xE9;
+  bench::print_header("E9 / Section 3", "spectral monitor: detect, estimate, notch", seed);
+
+  const double true_freq = 150e6;
+  const int packets = bench::fast_mode() ? 10 : 40;
+
+  // --- Detection and frequency estimation vs SIR ---------------------------
+  sim::Table det({"SIR", "P(detect)", "freq RMSE", "peak/median"});
+  for (double sir : {10.0, 0.0, -10.0, -20.0}) {
+    txrx::Gen2Config config = sim::gen2_fast();
+    txrx::Gen2Link link(config, seed + static_cast<uint64_t>(100 + sir));
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 200;
+    options.ebn0_db = 12.0;
+    options.interferer = true;
+    options.interferer_sir_db = sir;
+    options.interferer_freq_hz = true_freq;
+
+    int detected = 0;
+    double err_sq = 0.0, pom = 0.0;
+    for (int p = 0; p < packets; ++p) {
+      const auto trial = link.run_packet(options);
+      if (trial.rx.interferer.detected) {
+        ++detected;
+        const double e = trial.rx.interferer.frequency_hz - true_freq;
+        err_sq += e * e;
+      }
+      pom += trial.rx.interferer.peak_over_median_db;
+    }
+    det.add_row({sim::Table::db(sir, 0),
+                 sim::Table::percent(static_cast<double>(detected) / packets, 0),
+                 detected > 0 ? sim::Table::num(std::sqrt(err_sq / detected) / 1e6, 2) + " MHz"
+                              : "--",
+                 sim::Table::db(pom / packets)});
+  }
+  std::printf("%s", det.to_string().c_str());
+
+  // --- Closing the loop: BER with and without the notch ---------------------
+  std::printf("\nBER at Eb/N0 = 10 dB with a CW interferer at SIR = -15 dB:\n\n");
+  sim::Table ber({"configuration", "BER"});
+  txrx::Gen2Config config = sim::gen2_fast();
+  const auto stop = bench::stop_rule(30, 50000);
+  {
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 300;
+    options.ebn0_db = 10.0;
+    txrx::Gen2Link link(config, seed);
+    ber.add_row({"clean channel", sim::Table::sci(bench::gen2_ber(link, options, stop).ber)});
+  }
+  {
+    txrx::Gen2LinkOptions options;
+    options.payload_bits = 300;
+    options.ebn0_db = 10.0;
+    options.interferer = true;
+    options.interferer_sir_db = -15.0;
+    options.interferer_freq_hz = true_freq;
+    txrx::Gen2Link link(config, seed);
+    ber.add_row({"interferer, notch off",
+                 sim::Table::sci(bench::gen2_ber(link, options, stop).ber)});
+    options.auto_notch = true;
+    txrx::Gen2Link link2(config, seed);
+    ber.add_row({"interferer, monitor->notch",
+                 sim::Table::sci(bench::gen2_ber(link2, options, stop).ber)});
+  }
+  std::printf("%s", ber.to_string().c_str());
+  std::printf("\nShape check: reliable detection once the tone clears the UWB floor by a\n"
+              "few dB, sub-MHz frequency estimates, and most of the jammed link's loss\n"
+              "recovered when the estimate drives the RF notch.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+/// \file bench_util.h
+/// \brief Shared plumbing for the experiment benches: Monte-Carlo budgets
+///        (scaled down when UWB_BENCH_FAST is set), link-BER helpers, and
+///        uniform headers so EXPERIMENTS.md can quote outputs verbatim.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/ber_simulator.h"
+#include "sim/table.h"
+#include "txrx/link.h"
+
+namespace uwb::bench {
+
+/// True when the user asked for a quick pass (UWB_BENCH_FAST=1).
+inline bool fast_mode() {
+  const char* env = std::getenv("UWB_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Monte-Carlo stopping rule scaled by the mode.
+inline sim::BerStop stop_rule(std::size_t min_errors = 40, std::size_t max_bits = 120000) {
+  sim::BerStop stop;
+  if (fast_mode()) {
+    stop.min_errors = min_errors / 4;
+    stop.max_bits = max_bits / 8;
+  } else {
+    stop.min_errors = min_errors;
+    stop.max_bits = max_bits;
+  }
+  stop.max_trials = 100000;
+  return stop;
+}
+
+/// Measures one gen-2 BER point.
+inline sim::BerPoint gen2_ber(txrx::Gen2Link& link, const txrx::Gen2LinkOptions& options,
+                              const sim::BerStop& stop) {
+  return sim::measure_ber(
+      [&]() {
+        const auto trial = link.run_packet(options);
+        return sim::TrialOutcome{trial.bits, trial.errors};
+      },
+      stop);
+}
+
+/// Measures one gen-1 BER point.
+inline sim::BerPoint gen1_ber(txrx::Gen1Link& link, const txrx::Gen1LinkOptions& options,
+                              const sim::BerStop& stop) {
+  return sim::measure_ber(
+      [&]() {
+        const auto trial = link.run_packet(options);
+        return sim::TrialOutcome{trial.bits, trial.errors};
+      },
+      stop);
+}
+
+/// Uniform experiment header: id, paper anchor, seed.
+inline void print_header(const std::string& id, const std::string& claim, uint64_t seed) {
+  std::printf("%s", sim::banner(id + " -- " + claim).c_str());
+  std::printf("(seed %llu%s)\n\n", static_cast<unsigned long long>(seed),
+              fast_mode() ? ", FAST mode" : "");
+}
+
+}  // namespace uwb::bench

@@ -1,0 +1,54 @@
+// Generation-1 demo (paper Section 2, Fig. 1): the single-chip baseband
+// pulsed UWB transceiver. Shows the 193 kbps link closing over AWGN and the
+// parallelized two-stage acquisition locking in under 70 us.
+
+#include <cstdio>
+
+#include "sim/scenario.h"
+#include "txrx/link.h"
+
+int main() {
+  using namespace uwb;
+
+  txrx::Gen1Config config = sim::gen1_nominal();
+  std::printf("Gen-1 baseband pulsed UWB transceiver\n");
+  std::printf("-------------------------------------\n");
+  std::printf("PRF                : %.4f MHz (2 GSps / %zu samples per frame)\n",
+              config.prf_hz() / 1e6, config.frame_samples_adc);
+  std::printf("pulses per bit     : %d (PN polarity spreading)\n", config.pulses_per_bit);
+  std::printf("bit rate           : %.1f kbps (paper: 193 kbps demonstrated)\n",
+              config.bit_rate_hz() / 1e3);
+  std::printf("ADC                : %d-way interleaved %d-bit flash @ %.0f GSps\n",
+              config.adc_lanes, config.adc_bits, config.adc_rate / 1e9);
+
+  // --- Acquisition: pulse-level PN preamble, massively parallel search ----
+  txrx::Gen1Link link(config, /*seed=*/7);
+  txrx::Gen1LinkOptions options;
+  options.ebn0_db = 18.0;
+  options.payload_bits = 16;
+  options.genie_timing = false;
+
+  std::printf("\nAcquisition (P1 = %zu sample-phase correlators, P2 = %zu code-phase):\n",
+              config.acq_parallelism_stage1, config.acq_parallelism_stage2);
+  for (int t = 0; t < 3; ++t) {
+    const auto trial = link.run_acquisition(options);
+    std::printf("  trial %d: %s, metric %.2f, sync time %.1f us (budget: < 70 us)\n", t,
+                trial.timing_correct ? "locked on the true timing" : "missed",
+                trial.acq.stage2_metric, trial.acq.sync_time_s * 1e6);
+  }
+
+  // --- Data transfer at 193 kbps ------------------------------------------
+  std::printf("\nLink at %.0f kbps, Eb/N0 = 12 dB:\n", config.bit_rate_hz() / 1e3);
+  txrx::Gen1LinkOptions data_options;
+  data_options.ebn0_db = 12.0;
+  data_options.payload_bits = 64;
+  data_options.genie_timing = true;
+  std::size_t bits = 0, errors = 0;
+  for (int p = 0; p < 4; ++p) {
+    const auto trial = link.run_packet(data_options);
+    bits += trial.bits;
+    errors += trial.errors;
+  }
+  std::printf("  %zu bits transferred, %zu errors\n", bits, errors);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "adc/flash_adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::adc {
+
+FlashAdc::FlashAdc(const FlashParams& params, Rng& rng) : params_(params) {
+  detail::require(params.bits >= 1 && params.bits <= 10, "FlashAdc: bits must be in [1,10]");
+  detail::require(params.full_scale > 0.0, "FlashAdc: full scale must be positive");
+  const int num_codes = 1 << params.bits;
+  lsb_ = 2.0 * params.full_scale / num_codes;
+  thresholds_.resize(static_cast<std::size_t>(num_codes - 1));
+  for (int k = 1; k < num_codes; ++k) {
+    const double nominal = -params.full_scale + k * lsb_;
+    const double offset = rng.gaussian(0.0, params.comparator_offset_sigma * lsb_);
+    thresholds_[static_cast<std::size_t>(k - 1)] = nominal + offset;
+  }
+  // A real flash keeps its ladder ordered even with offsets: bubble-error
+  // correction in the thermometer decoder amounts to sorting.
+  std::sort(thresholds_.begin(), thresholds_.end());
+}
+
+int FlashAdc::convert(double x) noexcept {
+  // Thermometer: count comparators tripped (thresholds ascending).
+  const auto it = std::upper_bound(thresholds_.begin(), thresholds_.end(), x);
+  return static_cast<int>(std::distance(thresholds_.begin(), it));
+}
+
+double FlashAdc::level_of(int code) const noexcept {
+  const int num_codes = 1 << params_.bits;
+  const int c = std::clamp(code, 0, num_codes - 1);
+  return -params_.full_scale + (static_cast<double>(c) + 0.5) * lsb_;
+}
+
+TimeInterleavedAdc::TimeInterleavedAdc(int num_lanes, const FlashParams& lane_params,
+                                       const InterleaveMismatch& mismatch, Rng& rng) {
+  detail::require(num_lanes >= 1 && num_lanes <= 64,
+                  "TimeInterleavedAdc: lanes must be in [1,64]");
+  lanes_.reserve(static_cast<std::size_t>(num_lanes));
+  for (int k = 0; k < num_lanes; ++k) {
+    lanes_.emplace_back(lane_params, rng);
+    gains_.push_back(1.0 + rng.gaussian(0.0, mismatch.gain_sigma));
+    offsets_.push_back(rng.gaussian(0.0, mismatch.offset_sigma * lane_params.full_scale));
+    skews_s_.push_back(rng.gaussian(0.0, mismatch.timing_skew_sigma_s));
+  }
+}
+
+int TimeInterleavedAdc::bits() const noexcept { return lanes_.front().bits(); }
+
+double TimeInterleavedAdc::full_scale() const noexcept { return lanes_.front().full_scale(); }
+
+int TimeInterleavedAdc::convert(double x) noexcept {
+  const std::size_t lane = lane_;
+  lane_ = (lane_ + 1) % lanes_.size();
+  last_lane_used_ = static_cast<int>(lane);
+  // Lane gain/offset error applied to the analog input before conversion.
+  const double perturbed = gains_[lane] * x + offsets_[lane];
+  return lanes_[lane].convert(perturbed);
+}
+
+double TimeInterleavedAdc::level_of(int code) const noexcept {
+  return lanes_[static_cast<std::size_t>(last_lane_used_)].level_of(code);
+}
+
+}  // namespace uwb::adc

@@ -1,0 +1,82 @@
+#pragma once
+/// \file flash_adc.h
+/// \brief Flash converter with per-comparator threshold offsets, and the
+///        4-way time-interleaved wrapper of the gen-1 chip's "2 GSPS FLASH
+///        Interleaved Analog to Digital Converter" (paper Fig. 1).
+
+#include <memory>
+
+#include "adc/quantizer.h"
+#include "common/rng.h"
+
+namespace uwb::adc {
+
+/// Flash ADC parameters.
+struct FlashParams {
+  int bits = 4;
+  double full_scale = 1.0;
+  double comparator_offset_sigma = 0.0;  ///< offset stddev as a fraction of one LSB
+};
+
+/// 2^bits - 1 comparators against a resistor ladder; each threshold carries
+/// a static random offset (drawn once at construction, as in silicon).
+class FlashAdc final : public Adc {
+ public:
+  FlashAdc(const FlashParams& params, Rng& rng);
+
+  [[nodiscard]] int bits() const noexcept override { return params_.bits; }
+  [[nodiscard]] double full_scale() const noexcept override { return params_.full_scale; }
+  [[nodiscard]] int convert(double x) noexcept override;
+  [[nodiscard]] double level_of(int code) const noexcept override;
+
+  /// The (offset-perturbed) threshold array, ascending.
+  [[nodiscard]] const RealVec& thresholds() const noexcept { return thresholds_; }
+
+ private:
+  FlashParams params_;
+  RealVec thresholds_;
+  double lsb_;
+};
+
+/// Per-lane mismatch of the interleaved converter.
+struct InterleaveMismatch {
+  double gain_sigma = 0.0;       ///< lane gain error stddev (fraction, e.g. 0.01)
+  double offset_sigma = 0.0;     ///< lane offset stddev (fraction of full scale)
+  double timing_skew_sigma_s = 0.0;  ///< lane sample-time skew stddev [s]
+};
+
+/// M-way time-interleaved ADC: lane k converts samples k, k+M, k+2M, ...
+/// Lane gain/offset mismatch is applied per conversion; timing skew is
+/// handled upstream by SampleAndHold (which knows the analog waveform).
+class TimeInterleavedAdc final : public Adc {
+ public:
+  /// Builds \p num_lanes flash sub-ADCs with independent comparator offsets
+  /// and lane mismatch drawn from \p mismatch.
+  TimeInterleavedAdc(int num_lanes, const FlashParams& lane_params,
+                     const InterleaveMismatch& mismatch, Rng& rng);
+
+  [[nodiscard]] int bits() const noexcept override;
+  [[nodiscard]] double full_scale() const noexcept override;
+
+  /// Converts one sample through the current lane, then advances the lane
+  /// counter (call reset() at a packet boundary for reproducibility).
+  [[nodiscard]] int convert(double x) noexcept override;
+  [[nodiscard]] double level_of(int code) const noexcept override;
+
+  void reset() noexcept override { lane_ = 0; }
+
+  [[nodiscard]] int num_lanes() const noexcept { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] double lane_gain(int lane) const { return gains_.at(static_cast<std::size_t>(lane)); }
+  [[nodiscard]] double lane_offset(int lane) const { return offsets_.at(static_cast<std::size_t>(lane)); }
+  [[nodiscard]] double lane_skew_s(int lane) const { return skews_s_.at(static_cast<std::size_t>(lane)); }
+
+ private:
+  std::vector<FlashAdc> lanes_;
+  RealVec gains_;
+  RealVec offsets_;
+  RealVec skews_s_;
+  std::size_t lane_ = 0;
+  int last_lane_used_ = 0;
+};
+
+}  // namespace uwb::adc

@@ -1,0 +1,63 @@
+#include "adc/sampling.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::adc {
+
+SampleAndHold::SampleAndHold(const SamplingParams& params) : params_(params) {
+  detail::require(params.adc_rate_hz > 0.0, "SampleAndHold: ADC rate must be positive");
+  detail::require(params.aperture_jitter_rms_s >= 0.0,
+                  "SampleAndHold: jitter must be non-negative");
+}
+
+template <typename T>
+std::vector<T> SampleAndHold::sample_impl(const std::vector<T>& x, double fs_in,
+                                          const RealVec* lane_skews, Rng& rng) const {
+  const double ratio = fs_in / params_.adc_rate_hz;
+  detail::require(ratio >= 1.0 - 1e-9, "SampleAndHold: input rate below ADC rate");
+  const auto n_out = static_cast<std::size_t>(
+      std::floor(static_cast<double>(x.size()) / ratio));
+  std::vector<T> out(n_out, T{});
+  for (std::size_t k = 0; k < n_out; ++k) {
+    double t_s = static_cast<double>(k) / params_.adc_rate_hz + params_.phase_offset_s;
+    if (params_.aperture_jitter_rms_s > 0.0) {
+      t_s += rng.gaussian(0.0, params_.aperture_jitter_rms_s);
+    }
+    if (lane_skews != nullptr && !lane_skews->empty()) {
+      t_s += (*lane_skews)[k % lane_skews->size()];
+    }
+    const double pos = t_s * fs_in;
+    if (pos < 0.0) continue;
+    const auto i0 = static_cast<std::size_t>(pos);
+    if (i0 + 1 >= x.size()) break;
+    const double frac = pos - static_cast<double>(i0);
+    out[k] = x[i0] * (1.0 - frac) + x[i0 + 1] * frac;
+  }
+  return out;
+}
+
+RealWaveform SampleAndHold::sample(const RealWaveform& analog, Rng& rng) const {
+  return RealWaveform(sample_impl(analog.samples(), analog.sample_rate(), nullptr, rng),
+                      params_.adc_rate_hz);
+}
+
+CplxWaveform SampleAndHold::sample(const CplxWaveform& analog, Rng& rng) const {
+  return CplxWaveform(sample_impl(analog.samples(), analog.sample_rate(), nullptr, rng),
+                      params_.adc_rate_hz);
+}
+
+RealWaveform SampleAndHold::sample_interleaved(const RealWaveform& analog,
+                                               const RealVec& lane_skews_s, Rng& rng) const {
+  return RealWaveform(sample_impl(analog.samples(), analog.sample_rate(), &lane_skews_s, rng),
+                      params_.adc_rate_hz);
+}
+
+template std::vector<double> SampleAndHold::sample_impl<double>(const std::vector<double>&,
+                                                                double, const RealVec*,
+                                                                Rng&) const;
+template std::vector<cplx> SampleAndHold::sample_impl<cplx>(const std::vector<cplx>&, double,
+                                                            const RealVec*, Rng&) const;
+
+}  // namespace uwb::adc

@@ -1,0 +1,46 @@
+#pragma once
+/// \file sampling.h
+/// \brief Sample-and-hold front end: rate reduction from the "analog"
+///        (oversampled) waveform to the ADC clock, with aperture jitter and
+///        per-lane timing skew via fractional-delay interpolation.
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/waveform.h"
+
+namespace uwb::adc {
+
+/// Sampling parameters.
+struct SamplingParams {
+  double adc_rate_hz = 2e9;
+  double aperture_jitter_rms_s = 0.0;
+  double phase_offset_s = 0.0;  ///< static sampling-phase offset
+};
+
+/// Samples an oversampled "analog" waveform at the ADC clock. The input
+/// rate must be an integer multiple of adc_rate_hz; sampling instants are
+/// t_k = k/adc_rate + phase_offset + jitter_k, evaluated by linear
+/// interpolation of the input.
+class SampleAndHold {
+ public:
+  explicit SampleAndHold(const SamplingParams& params);
+
+  [[nodiscard]] const SamplingParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] RealWaveform sample(const RealWaveform& analog, Rng& rng) const;
+  [[nodiscard]] CplxWaveform sample(const CplxWaveform& analog, Rng& rng) const;
+
+  /// Per-lane skewed sampling (time-interleaved converters): lane k of
+  /// \p num_lanes has an extra static skew \p lane_skews_s[k].
+  [[nodiscard]] RealWaveform sample_interleaved(const RealWaveform& analog,
+                                                const RealVec& lane_skews_s, Rng& rng) const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::vector<T> sample_impl(const std::vector<T>& x, double fs_in,
+                                           const RealVec* lane_skews, Rng& rng) const;
+
+  SamplingParams params_;
+};
+
+}  // namespace uwb::adc

@@ -1,0 +1,56 @@
+#include "adc/sar_adc.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::adc {
+
+SarAdc::SarAdc(const SarParams& params, Rng& rng)
+    : params_(params), noise_rng_(rng.fork(0x5a7c0de)) {
+  detail::require(params.bits >= 1 && params.bits <= 16, "SarAdc: bits must be in [1,16]");
+  detail::require(params.full_scale > 0.0, "SarAdc: full scale must be positive");
+
+  // Binary-weighted cap DAC over the 2*FS input range: MSB weight FS,
+  // halving down to the LSB. Bit k (0 = MSB) is built from 2^(bits-1-k)
+  // unit capacitors, so its relative mismatch shrinks as 1/sqrt(units).
+  weights_.resize(static_cast<std::size_t>(params.bits));
+  double nominal = params.full_scale;
+  for (int k = 0; k < params.bits; ++k) {
+    const double units = std::pow(2.0, params.bits - 1 - k);
+    const double rel_sigma = params.cap_mismatch_sigma / std::sqrt(units);
+    weights_[static_cast<std::size_t>(k)] = nominal * (1.0 + rng.gaussian(0.0, rel_sigma));
+    nominal /= 2.0;
+  }
+}
+
+int SarAdc::convert(double x) noexcept {
+  // Successive approximation from the bottom of the range.
+  double dac = -params_.full_scale;
+  int code = 0;
+  for (int k = 0; k < params_.bits; ++k) {
+    const double trial = dac + weights_[static_cast<std::size_t>(k)];
+    double decision_input = x;
+    if (params_.comparator_noise > 0.0) {
+      decision_input += noise_rng_.gaussian(0.0, params_.comparator_noise);
+    }
+    if (decision_input >= trial) {
+      dac = trial;
+      code |= 1 << (params_.bits - 1 - k);
+    }
+  }
+  return code;
+}
+
+double SarAdc::level_of(int code) const noexcept {
+  double v = -params_.full_scale;
+  for (int k = 0; k < params_.bits; ++k) {
+    if (code & (1 << (params_.bits - 1 - k))) {
+      v += weights_[static_cast<std::size_t>(k)];
+    }
+  }
+  // Center of the LSB bin.
+  return v + weights_.back() / 2.0;
+}
+
+}  // namespace uwb::adc

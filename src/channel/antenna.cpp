@@ -1,0 +1,71 @@
+#include "channel/antenna.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+#include "dsp/fft.h"
+#include "dsp/filter_design.h"
+#include "dsp/fir_filter.h"
+
+namespace uwb::channel {
+
+AntennaModel::AntennaModel(const AntennaParams& params, double fs) : params_(params), fs_(fs) {
+  detail::require(fs > 2.0 * params.high_edge_hz,
+                  "AntennaModel: sample rate must exceed twice the upper band edge");
+  detail::require(params.low_edge_hz > 0.0 && params.high_edge_hz > params.low_edge_hz,
+                  "AntennaModel: band edges must satisfy 0 < low < high");
+
+  // Start from a bandpass covering the antenna's band.
+  taps_ = dsp::design_bandpass(params.low_edge_hz, params.high_edge_hz, fs, params.num_taps,
+                               dsp::WindowType::kBlackman);
+
+  if (params.differentiate) {
+    // Small-antenna radiation differentiates the drive current; cascade a
+    // first-difference (discrete d/dt) and renormalize mid-band gain to 1.
+    RealVec diffed(taps_.size() + 1, 0.0);
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+      diffed[i] += taps_[i];
+      diffed[i + 1] -= taps_[i];
+    }
+    taps_ = std::move(diffed);
+  }
+
+  if (params.ripple_db > 0.0 && params.ripple_cycles > 0) {
+    // Multiply the frequency response by a gentle cosine ripple across the
+    // band (resonance structure of a compact planar element), via
+    // frequency-domain reshaping of the tap vector.
+    const std::size_t n = next_pow2(taps_.size() * 4);
+    CplxVec spec = dsp::fft(taps_, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = std::abs(dsp::bin_frequency(k, n, fs_));
+      if (f >= params_.low_edge_hz && f <= params_.high_edge_hz) {
+        const double frac =
+            (f - params_.low_edge_hz) / (params_.high_edge_hz - params_.low_edge_hz);
+        const double ripple_db_here =
+            params_.ripple_db * 0.5 * std::cos(two_pi * params_.ripple_cycles * frac);
+        spec[k] *= db_to_amp(ripple_db_here);
+      }
+    }
+    CplxVec time = dsp::ifft(spec);
+    taps_.assign(taps_.size(), 0.0);
+    for (std::size_t i = 0; i < taps_.size(); ++i) taps_[i] = time[i].real();
+  }
+
+  // Normalize mid-band gain to unity.
+  const double f_mid = 0.5 * (params_.low_edge_hz + params_.high_edge_hz);
+  const double g = std::abs(dsp::fir_response_at(taps_, f_mid, fs_));
+  detail::require(g > 1e-9, "AntennaModel: degenerate response");
+  for (auto& v : taps_) v /= g;
+}
+
+RealWaveform AntennaModel::apply(const RealWaveform& x) const {
+  detail::require(x.sample_rate() == fs_, "AntennaModel::apply: sample-rate mismatch");
+  return dsp::filter_same(x, taps_);
+}
+
+double AntennaModel::gain_db_at(double freq_hz) const {
+  return dsp::fir_gain_db_at(taps_, freq_hz, fs_);
+}
+
+}  // namespace uwb::channel

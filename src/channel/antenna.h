@@ -1,0 +1,45 @@
+#pragma once
+/// \file antenna.h
+/// \brief Behavioral model of the paper's electrically small planar
+///        elliptical antenna (Fig. 2, ref [3]): a band-limited
+///        differentiating linear filter whose impulse response adds to the
+///        channel's, exactly the system-level effect Section 1 highlights.
+
+#include "common/types.h"
+#include "common/waveform.h"
+
+namespace uwb::channel {
+
+/// Antenna model parameters.
+struct AntennaParams {
+  double low_edge_hz = fcc_band_low_hz;    ///< 3 dB band start
+  double high_edge_hz = fcc_band_high_hz;  ///< 3 dB band end
+  double ripple_db = 1.5;                  ///< in-band gain ripple amplitude
+  int ripple_cycles = 5;                   ///< ripple periods across the band
+  std::size_t num_taps = 129;              ///< FIR length of the model
+  bool differentiate = true;               ///< radiate d/dt (TX antenna physics)
+};
+
+/// Linear-filter antenna model for real passband waveforms.
+class AntennaModel {
+ public:
+  explicit AntennaModel(const AntennaParams& params, double fs);
+
+  [[nodiscard]] const AntennaParams& params() const noexcept { return params_; }
+
+  /// The model's FIR impulse response at the construction sample rate.
+  [[nodiscard]] const RealVec& impulse_response() const noexcept { return taps_; }
+
+  /// Applies the antenna to a passband waveform (same-mode convolution).
+  [[nodiscard]] RealWaveform apply(const RealWaveform& x) const;
+
+  /// Gain (dB) of the model at \p freq_hz (for verification).
+  [[nodiscard]] double gain_db_at(double freq_hz) const;
+
+ private:
+  AntennaParams params_;
+  double fs_;
+  RealVec taps_;
+};
+
+}  // namespace uwb::channel

@@ -1,0 +1,42 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+
+namespace uwb::channel {
+
+void add_awgn(CplxVec& x, double n0, Rng& rng) {
+  detail::require(n0 >= 0.0, "add_awgn: N0 must be non-negative");
+  if (n0 == 0.0) return;
+  for (auto& v : x) v += rng.cgaussian(n0);
+}
+
+void add_awgn(RealVec& x, double n0, Rng& rng) {
+  detail::require(n0 >= 0.0, "add_awgn: N0 must be non-negative");
+  if (n0 == 0.0) return;
+  const double sigma = std::sqrt(n0 / 2.0);
+  for (auto& v : x) v += rng.gaussian(0.0, sigma);
+}
+
+void add_awgn(CplxWaveform& x, double n0, Rng& rng) { add_awgn(x.samples(), n0, rng); }
+
+void add_awgn(RealWaveform& x, double n0, Rng& rng) { add_awgn(x.samples(), n0, rng); }
+
+double n0_for_ebn0(double eb, double ebn0_db) {
+  detail::require(eb > 0.0, "n0_for_ebn0: Eb must be positive");
+  return eb / from_db(ebn0_db);
+}
+
+double energy_per_bit(const CplxWaveform& x, std::size_t num_bits) {
+  detail::require(num_bits > 0, "energy_per_bit: num_bits must be positive");
+  return x.total_energy() / static_cast<double>(num_bits);
+}
+
+double energy_per_bit(const RealWaveform& x, std::size_t num_bits) {
+  detail::require(num_bits > 0, "energy_per_bit: num_bits must be positive");
+  return x.total_energy() / static_cast<double>(num_bits);
+}
+
+}  // namespace uwb::channel

@@ -1,0 +1,62 @@
+#include "channel/path_loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+
+namespace uwb::channel {
+
+namespace {
+constexpr double c_mps = 299792458.0;
+}
+
+double free_space_path_loss_db(double d_m, double f_hz) {
+  detail::require(d_m > 0.0 && f_hz > 0.0, "free_space_path_loss_db: args must be positive");
+  return 20.0 * std::log10(4.0 * pi * d_m * f_hz / c_mps);
+}
+
+double log_distance_path_loss_db(double d_m, double f_hz, double exponent, double d0_m) {
+  detail::require(d_m >= d0_m, "log_distance_path_loss_db: d must be >= d0");
+  return free_space_path_loss_db(d0_m, f_hz) + 10.0 * exponent * std::log10(d_m / d0_m);
+}
+
+double fcc_limited_tx_power_dbm(double bandwidth_hz) {
+  detail::require(bandwidth_hz > 0.0, "fcc_limited_tx_power_dbm: bandwidth must be positive");
+  return fcc_eirp_limit_dbm_per_mhz + 10.0 * std::log10(bandwidth_hz / 1e6);
+}
+
+double LinkBudget::rx_power_dbm() const {
+  const double pl =
+      log_distance_path_loss_db(distance_m, center_freq_hz, path_loss_exponent);
+  return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db - pl;
+}
+
+double LinkBudget::noise_power_dbm() const {
+  return kT_dBm_per_Hz + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double LinkBudget::snr_db() const { return rx_power_dbm() - noise_power_dbm(); }
+
+double LinkBudget::ebn0_db() const {
+  return snr_db() + 10.0 * std::log10(bandwidth_hz / bit_rate_hz) - implementation_loss_db;
+}
+
+double LinkBudget::max_distance_m(double required_ebn0_db) const {
+  LinkBudget probe = *this;
+  double lo = 1.0, hi = 1000.0;  // d0 of the log-distance model is 1 m
+  probe.distance_m = lo;
+  if (probe.ebn0_db() < required_ebn0_db) return 0.0;  // infeasible even up close
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    probe.distance_m = mid;
+    if (probe.ebn0_db() >= required_ebn0_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace uwb::channel

@@ -1,0 +1,51 @@
+#pragma once
+/// \file path_loss.h
+/// \brief Free-space and log-distance path loss plus the link budget that
+///        connects the FCC-limited TX power to a receiver Eb/N0 -- the
+///        arithmetic behind "high data rates over short distances".
+
+#include "common/types.h"
+
+namespace uwb::channel {
+
+/// Free-space path loss (dB) at distance \p d_m and frequency \p f_hz.
+double free_space_path_loss_db(double d_m, double f_hz);
+
+/// Log-distance model: FSPL(d0) + 10 n log10(d/d0). Indoor UWB typically
+/// n ~ 1.7 (LOS) to 3.5 (NLOS).
+double log_distance_path_loss_db(double d_m, double f_hz, double exponent,
+                                 double d0_m = 1.0);
+
+/// End-to-end link budget for a UWB link.
+struct LinkBudget {
+  double tx_power_dbm = -10.2;    ///< FCC limit over ~500 MHz (-41.3 + 10log10(500))
+  double tx_antenna_gain_db = 0.0;
+  double rx_antenna_gain_db = 0.0;
+  double center_freq_hz = 4e9;
+  double distance_m = 4.0;
+  double path_loss_exponent = 2.0;
+  double noise_figure_db = 7.0;   ///< cascaded receiver NF
+  double implementation_loss_db = 3.0;
+  double bandwidth_hz = 500e6;
+  double bit_rate_hz = 100e6;
+
+  /// Received signal power [dBm].
+  [[nodiscard]] double rx_power_dbm() const;
+
+  /// Noise power over the signal bandwidth [dBm].
+  [[nodiscard]] double noise_power_dbm() const;
+
+  /// SNR over the signal bandwidth [dB].
+  [[nodiscard]] double snr_db() const;
+
+  /// Eb/N0 [dB] = SNR + 10 log10(B / Rb) - implementation loss.
+  [[nodiscard]] double ebn0_db() const;
+
+  /// Maximum distance at which \p required_ebn0_db is met (bisection).
+  [[nodiscard]] double max_distance_m(double required_ebn0_db) const;
+};
+
+/// TX power allowed by the FCC mask over \p bandwidth_hz [dBm].
+double fcc_limited_tx_power_dbm(double bandwidth_hz);
+
+}  // namespace uwb::channel

@@ -1,0 +1,47 @@
+#pragma once
+/// \file error.h
+/// \brief Exception hierarchy for the UWB library.
+///
+/// Construction-time parameter validation throws; per-sample hot paths are
+/// noexcept by design. Catch uwb::Error to handle anything thrown by the
+/// library.
+
+#include <stdexcept>
+#include <string>
+
+namespace uwb {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A constructor or setter received an out-of-range / inconsistent argument.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation was attempted in a state that does not permit it
+/// (e.g. demodulating before acquisition has locked).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Input buffers have mismatched or unusable dimensions.
+class SizeError : public Error {
+ public:
+  explicit SizeError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// Throws InvalidArgument with \p msg when \p cond is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace detail
+}  // namespace uwb

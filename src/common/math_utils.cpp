@@ -1,0 +1,73 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+
+namespace uwb {
+
+double q_function_inv(double p) {
+  // Bisection on the monotone decreasing Q over x in [-10, 10] covers
+  // p in (Q(10), Q(-10)) ~ (7.6e-24, 1 - 7.6e-24), far more than any BER
+  // target the simulator uses.
+  double lo = -10.0, hi = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (q_function(mid) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double mean_power(const RealVec& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc / static_cast<double>(x.size());
+}
+
+double mean_power(const CplxVec& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc / static_cast<double>(x.size());
+}
+
+double energy(const RealVec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double energy(const CplxVec& x) {
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc;
+}
+
+double peak_abs(const RealVec& x) {
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
+double peak_abs(const CplxVec& x) {
+  double peak = 0.0;
+  for (const cplx& v : x) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double wrap_phase(double phi) {
+  while (phi > pi) phi -= two_pi;
+  while (phi <= -pi) phi += two_pi;
+  return phi;
+}
+
+}  // namespace uwb

@@ -1,0 +1,31 @@
+#include "common/waveform.h"
+
+namespace uwb {
+
+RealWaveform real_part(const CplxWaveform& w) {
+  RealVec out(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) out[i] = w[i].real();
+  return RealWaveform(std::move(out), w.sample_rate());
+}
+
+CplxWaveform from_iq(const RealWaveform& i_rail, const RealWaveform& q_rail) {
+  detail::require(i_rail.size() == q_rail.size(), "from_iq: rail length mismatch");
+  detail::require(i_rail.sample_rate() == q_rail.sample_rate(),
+                  "from_iq: rail sample-rate mismatch");
+  CplxVec out(i_rail.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = {i_rail[i], q_rail[i]};
+  return CplxWaveform(std::move(out), i_rail.sample_rate());
+}
+
+std::pair<RealWaveform, RealWaveform> to_iq(const CplxWaveform& w) {
+  RealVec i_rail(w.size());
+  RealVec q_rail(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    i_rail[i] = w[i].real();
+    q_rail[i] = w[i].imag();
+  }
+  return {RealWaveform(std::move(i_rail), w.sample_rate()),
+          RealWaveform(std::move(q_rail), w.sample_rate())};
+}
+
+}  // namespace uwb

@@ -1,0 +1,69 @@
+#pragma once
+/// \file correlator.h
+/// \brief Sliding correlation / matched filtering -- the workhorse of the
+///        paper's digital back end (acquisition, channel estimation, demod).
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace uwb::dsp {
+
+/// Cross-correlation of \p x against template \p tmpl at every lag where the
+/// template fully overlaps: out[k] = sum_i x[k+i] * conj(tmpl[i]),
+/// k in [0, |x| - |tmpl|]. Empty if the template is longer than the signal.
+CplxVec correlate(const CplxVec& x, const CplxVec& tmpl);
+
+/// Real-valued version.
+RealVec correlate(const RealVec& x, const RealVec& tmpl);
+
+/// Normalized correlation magnitude in [0, 1]:
+/// |corr| / (||window|| * ||template||), robust to received power.
+RealVec normalized_correlation(const CplxVec& x, const CplxVec& tmpl);
+
+/// Real-valued normalized correlation (signed, in [-1, 1]).
+RealVec normalized_correlation(const RealVec& x, const RealVec& tmpl);
+
+/// Index of the maximum-magnitude element; 0 for empty input.
+std::size_t argmax_abs(const CplxVec& x);
+
+/// Index of the maximum-magnitude element; 0 for empty input.
+std::size_t argmax_abs(const RealVec& x);
+
+/// Single-point correlation (dot product with conjugated template).
+cplx dot_conj(const cplx* x, const cplx* tmpl, std::size_t n) noexcept;
+
+/// Single-point real correlation.
+double dot(const double* x, const double* tmpl, std::size_t n) noexcept;
+
+/// Streaming integrate-and-dump: accumulates blocks of \p length samples and
+/// emits one output per block (despreading pulses-per-bit style signals).
+template <typename T>
+class IntegrateAndDump {
+ public:
+  explicit IntegrateAndDump(std::size_t length) : length_(length) {}
+
+  /// Pushes one sample; returns true when a dump occurred (result in out).
+  bool push(T x, T& out) noexcept {
+    acc_ += x;
+    if (++count_ == length_) {
+      out = acc_;
+      acc_ = T{};
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void reset() noexcept {
+    acc_ = T{};
+    count_ = 0;
+  }
+
+ private:
+  std::size_t length_;
+  T acc_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace uwb::dsp

@@ -1,0 +1,68 @@
+#pragma once
+/// \file delay_line.h
+/// \brief Integer and fractional (linear-interpolation) delays. Fractional
+///        delay models sub-sample timing offsets between TX and RX clocks.
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "common/waveform.h"
+
+namespace uwb::dsp {
+
+/// Applies a (possibly fractional) delay of \p delay_samples to a buffer via
+/// linear interpolation. The output has the same length; leading samples
+/// that would reference the past are zero.
+template <typename T>
+std::vector<T> fractional_delay(const std::vector<T>& x, double delay_samples) {
+  detail::require(delay_samples >= 0.0, "fractional_delay: delay must be >= 0");
+  std::vector<T> out(x.size(), T{});
+  const std::size_t int_part = static_cast<std::size_t>(delay_samples);
+  const double frac = delay_samples - static_cast<double>(int_part);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i < int_part) continue;
+    const std::size_t j = i - int_part;
+    const T a = x[j];
+    const T b = (j > 0) ? x[j - 1] : T{};
+    // Linear interpolation between x[j] (delay int_part) and x[j-1]
+    // (delay int_part + 1).
+    out[i] = a * (1.0 - frac) + b * frac;
+  }
+  return out;
+}
+
+/// Waveform helper preserving the sample rate.
+template <typename T>
+Waveform<T> fractional_delay(const Waveform<T>& x, double delay_seconds) {
+  const double d = delay_seconds * x.sample_rate();
+  return Waveform<T>(fractional_delay(x.samples(), d), x.sample_rate());
+}
+
+/// Fixed-length integer delay line for streaming use (DLL, trackers).
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(std::size_t delay) : buf_(delay + 1, T{}), delay_(delay) {}
+
+  [[nodiscard]] std::size_t delay() const noexcept { return delay_; }
+
+  /// Pushes a sample, returns the sample from \p delay steps ago.
+  T step(T x) noexcept {
+    buf_[pos_] = x;
+    pos_ = (pos_ + 1) % buf_.size();
+    return buf_[pos_];
+  }
+
+  void reset() noexcept {
+    for (auto& v : buf_) v = T{};
+    pos_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t delay_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace uwb::dsp

@@ -1,0 +1,114 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+
+namespace uwb::dsp {
+
+namespace {
+
+/// Bit-reversal permutation, then iterative Cooley-Tukey butterflies.
+/// \p inverse selects the conjugate twiddles (normalization done by caller).
+void transform(CplxVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  detail::require(is_pow2(n), "fft: length must be a power of two");
+  // Bit-reversal reorder.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(CplxVec& x) { transform(x, false); }
+
+void ifft_inplace(CplxVec& x) {
+  transform(x, true);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= inv_n;
+}
+
+CplxVec fft(const CplxVec& x, std::size_t n) {
+  const std::size_t len = (n == 0) ? next_pow2(x.size()) : n;
+  detail::require(is_pow2(len), "fft: requested length must be a power of two");
+  CplxVec buf(len, cplx{});
+  const std::size_t copy = std::min(len, x.size());
+  for (std::size_t i = 0; i < copy; ++i) buf[i] = x[i];
+  fft_inplace(buf);
+  return buf;
+}
+
+CplxVec fft(const RealVec& x, std::size_t n) {
+  const std::size_t len = (n == 0) ? next_pow2(x.size()) : n;
+  detail::require(is_pow2(len), "fft: requested length must be a power of two");
+  CplxVec buf(len, cplx{});
+  const std::size_t copy = std::min(len, x.size());
+  for (std::size_t i = 0; i < copy; ++i) buf[i] = cplx(x[i], 0.0);
+  fft_inplace(buf);
+  return buf;
+}
+
+CplxVec ifft(const CplxVec& x) {
+  CplxVec buf = x;
+  ifft_inplace(buf);
+  return buf;
+}
+
+RealVec power_bins(const CplxVec& spectrum) {
+  RealVec out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::norm(spectrum[i]);
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double fs) {
+  detail::require(n > 0, "bin_frequency: n must be positive");
+  const double f = static_cast<double>(k) * fs / static_cast<double>(n);
+  return (k < n / 2) ? f : f - fs;
+}
+
+RealVec fft_convolve(const RealVec& a, const RealVec& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  CplxVec fa = fft(a, n);
+  const CplxVec fb = fft(b, n);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  RealVec out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+CplxVec fft_convolve(const CplxVec& a, const CplxVec& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  CplxVec fa = fft(a, n);
+  const CplxVec fb = fft(b, n);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  fa.resize(out_len);
+  return fa;
+}
+
+}  // namespace uwb::dsp

@@ -1,0 +1,43 @@
+#pragma once
+/// \file fft.h
+/// \brief Iterative radix-2 FFT used by the spectral monitor, PSD estimation
+///        and fast convolution. Self-contained (no external FFT library).
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace uwb::dsp {
+
+/// In-place forward FFT. \p x must have power-of-two length.
+void fft_inplace(CplxVec& x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(CplxVec& x);
+
+/// Out-of-place forward FFT of a complex buffer; zero-pads to the next
+/// power of two when \p n == 0, otherwise pads/truncates to \p n
+/// (which must be a power of two).
+CplxVec fft(const CplxVec& x, std::size_t n = 0);
+
+/// Out-of-place forward FFT of a real buffer (returned full-length complex).
+CplxVec fft(const RealVec& x, std::size_t n = 0);
+
+/// Out-of-place inverse FFT.
+CplxVec ifft(const CplxVec& x);
+
+/// Magnitude-squared of each FFT bin, |X[k]|^2.
+RealVec power_bins(const CplxVec& spectrum);
+
+/// Frequency (Hz) of FFT bin \p k for length \p n at sample rate \p fs,
+/// mapped to the range [-fs/2, fs/2).
+double bin_frequency(std::size_t k, std::size_t n, double fs);
+
+/// Linear convolution of two real sequences via overlap-free full FFT.
+/// Result has length a.size() + b.size() - 1.
+RealVec fft_convolve(const RealVec& a, const RealVec& b);
+
+/// Linear convolution of a complex sequence with a complex kernel via FFT.
+CplxVec fft_convolve(const CplxVec& a, const CplxVec& b);
+
+}  // namespace uwb::dsp

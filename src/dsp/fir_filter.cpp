@@ -1,0 +1,59 @@
+#include "dsp/fir_filter.h"
+
+namespace uwb::dsp {
+
+namespace {
+
+template <typename TX, typename TH, typename TY>
+std::vector<TY> convolve_impl(const std::vector<TX>& x, const std::vector<TH>& h) {
+  if (x.empty() || h.empty()) return {};
+  std::vector<TY> y(x.size() + h.size() - 1, TY{});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      y[i + k] += x[i] * h[k];
+    }
+  }
+  return y;
+}
+
+template <typename TY>
+std::vector<TY> take_same(std::vector<TY> full, std::size_t x_len, std::size_t h_len) {
+  const std::size_t start = (h_len - 1) / 2;
+  std::vector<TY> out(x_len);
+  for (std::size_t i = 0; i < x_len; ++i) out[i] = full[start + i];
+  return out;
+}
+
+}  // namespace
+
+RealVec convolve(const RealVec& x, const RealVec& h) {
+  return convolve_impl<double, double, double>(x, h);
+}
+
+CplxVec convolve(const CplxVec& x, const RealVec& h) {
+  return convolve_impl<cplx, double, cplx>(x, h);
+}
+
+CplxVec convolve(const CplxVec& x, const CplxVec& h) {
+  return convolve_impl<cplx, cplx, cplx>(x, h);
+}
+
+RealVec convolve_same(const RealVec& x, const RealVec& h) {
+  if (x.empty() || h.empty()) return {};
+  return take_same(convolve(x, h), x.size(), h.size());
+}
+
+CplxVec convolve_same(const CplxVec& x, const RealVec& h) {
+  if (x.empty() || h.empty()) return {};
+  return take_same(convolve(x, h), x.size(), h.size());
+}
+
+RealWaveform filter_same(const RealWaveform& x, const RealVec& taps) {
+  return RealWaveform(convolve_same(x.samples(), taps), x.sample_rate());
+}
+
+CplxWaveform filter_same(const CplxWaveform& x, const RealVec& taps) {
+  return CplxWaveform(convolve_same(x.samples(), taps), x.sample_rate());
+}
+
+}  // namespace uwb::dsp

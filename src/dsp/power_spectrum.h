@@ -1,0 +1,51 @@
+#pragma once
+/// \file power_spectrum.h
+/// \brief Welch-averaged power spectral density estimation. Used for FCC
+///        mask compliance checks and by the digital spectral monitor.
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "common/waveform.h"
+#include "dsp/window.h"
+
+namespace uwb::dsp {
+
+/// Result of a PSD estimate: matched frequency/density arrays.
+struct Psd {
+  RealVec freq_hz;         ///< bin center frequencies
+  RealVec density_w_per_hz;  ///< power spectral density [W/Hz] per bin
+
+  /// Density at a bin, in dBm/MHz (the FCC's unit).
+  [[nodiscard]] double dbm_per_mhz(std::size_t bin) const;
+
+  /// Index of the bin nearest \p f_hz.
+  [[nodiscard]] std::size_t bin_of(double f_hz) const;
+
+  /// Total power integrated over all bins [W].
+  [[nodiscard]] double total_power() const;
+
+  /// Peak density bin index.
+  [[nodiscard]] std::size_t peak_bin() const;
+};
+
+/// Welch PSD of a real signal: segments of \p segment_len with 50% overlap,
+/// windowed, averaged. Frequencies span [0, fs/2] (one-sided, density
+/// doubled to conserve power).
+Psd welch_psd(const RealWaveform& x, std::size_t segment_len,
+              WindowType window = WindowType::kHann);
+
+/// Welch PSD of a complex baseband signal; two-sided, frequencies span
+/// [-fs/2, fs/2).
+Psd welch_psd(const CplxWaveform& x, std::size_t segment_len,
+              WindowType window = WindowType::kHann);
+
+/// Occupied bandwidth: width of the smallest band around the peak holding
+/// \p fraction (default 99%) of the total power.
+double occupied_bandwidth(const Psd& psd, double fraction = 0.99);
+
+/// -10 dB bandwidth around the spectral peak (the UWB definition of signal
+/// bandwidth used by the FCC rules).
+double bandwidth_at_level(const Psd& psd, double level_db = -10.0);
+
+}  // namespace uwb::dsp

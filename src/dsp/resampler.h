@@ -1,0 +1,41 @@
+#pragma once
+/// \file resampler.h
+/// \brief Integer-factor rate conversion with anti-alias / anti-image
+///        filtering. Used to move between the RF-rate and ADC-rate domains.
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "common/waveform.h"
+
+namespace uwb::dsp {
+
+/// Inserts factor-1 zeros between samples, then applies an interpolation
+/// lowpass at the original Nyquist edge. Output rate = fs * factor.
+RealWaveform upsample(const RealWaveform& x, int factor, std::size_t filter_taps = 63);
+
+/// Complex version of upsample().
+CplxWaveform upsample(const CplxWaveform& x, int factor, std::size_t filter_taps = 63);
+
+/// Anti-alias lowpass at the new Nyquist edge, then keeps every factor-th
+/// sample. Output rate = fs / factor.
+RealWaveform decimate(const RealWaveform& x, int factor, std::size_t filter_taps = 63);
+
+/// Complex version of decimate().
+CplxWaveform decimate(const CplxWaveform& x, int factor, std::size_t filter_taps = 63);
+
+/// Keeps every factor-th sample with NO filtering -- models an ADC sampling
+/// an already band-limited analog waveform (the common case in this library,
+/// where the analog chain has its own anti-alias filter).
+template <typename T>
+std::vector<T> downsample_raw(const std::vector<T>& x, int factor, std::size_t phase = 0) {
+  std::vector<T> out;
+  if (factor <= 0) return out;
+  out.reserve(x.size() / static_cast<std::size_t>(factor) + 1);
+  for (std::size_t i = phase; i < x.size(); i += static_cast<std::size_t>(factor)) {
+    out.push_back(x[i]);
+  }
+  return out;
+}
+
+}  // namespace uwb::dsp

@@ -1,0 +1,33 @@
+#include "equalizer/demodulator.h"
+
+#include "common/error.h"
+
+namespace uwb::equalizer {
+
+std::vector<double> matched_filter_soft(const CplxWaveform& y, const SymbolTiming& timing,
+                                        cplx w) {
+  detail::require(timing.sps >= 1, "matched_filter_soft: sps must be >= 1");
+  std::vector<double> soft(timing.num_symbols, 0.0);
+  for (std::size_t m = 0; m < timing.num_symbols; ++m) {
+    const std::size_t idx = timing.t0 + m * timing.sps;
+    if (idx < y.size()) {
+      soft[m] = (std::conj(w) * y[idx]).real();
+    }
+  }
+  return soft;
+}
+
+std::vector<double> matched_filter_soft_ppm(const CplxWaveform& y, const SymbolTiming& timing,
+                                            std::size_t ppm_offset_samples, cplx w) {
+  detail::require(timing.sps >= 1, "matched_filter_soft_ppm: sps must be >= 1");
+  std::vector<double> soft(2 * timing.num_symbols, 0.0);
+  for (std::size_t m = 0; m < timing.num_symbols; ++m) {
+    const std::size_t punctual = timing.t0 + m * timing.sps;
+    const std::size_t offset = punctual + ppm_offset_samples;
+    if (punctual < y.size()) soft[2 * m] = (std::conj(w) * y[punctual]).real();
+    if (offset < y.size()) soft[2 * m + 1] = (std::conj(w) * y[offset]).real();
+  }
+  return soft;
+}
+
+}  // namespace uwb::equalizer

@@ -1,0 +1,34 @@
+#pragma once
+/// \file demodulator.h
+/// \brief Baseline single-correlator demodulation: soft symbol outputs from
+///        a matched-filtered waveform sampled at the symbol instants. The
+///        reference point the RAKE (energy capture) and MLSE (ISI) must beat.
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "common/waveform.h"
+
+namespace uwb::equalizer {
+
+/// Symbol-timing description shared by all demodulators: the punctual
+/// sample of symbol m is t0 + m * sps.
+struct SymbolTiming {
+  std::size_t t0 = 0;        ///< sample index of symbol 0's punctual tap
+  std::size_t sps = 20;      ///< samples per symbol
+  std::size_t num_symbols = 0;
+};
+
+/// Matched-filter (single-finger) demodulator: soft(m) = Re{conj(w) y[.]}
+/// with a single complex weight \p w (the strongest-path gain estimate;
+/// pass 1.0 for an unweighted slicer).
+std::vector<double> matched_filter_soft(const CplxWaveform& y, const SymbolTiming& timing,
+                                        cplx w = cplx{1.0, 0.0});
+
+/// PPM variant: two correlations per symbol, punctual and offset by
+/// \p ppm_offset_samples.
+std::vector<double> matched_filter_soft_ppm(const CplxWaveform& y, const SymbolTiming& timing,
+                                            std::size_t ppm_offset_samples,
+                                            cplx w = cplx{1.0, 0.0});
+
+}  // namespace uwb::equalizer

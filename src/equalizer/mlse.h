@@ -1,0 +1,61 @@
+#pragma once
+/// \file mlse.h
+/// \brief The "Viterbi demodulator": maximum-likelihood sequence estimation
+///        over the ISI channel ("The inter-symbol interference due to
+///        multipath can be addressed with a Viterbi demodulator", Section 1;
+///        programmable in gen-2, Section 3 -- the "States" input of Fig. 3).
+///
+/// The demodulator runs a Viterbi algorithm whose states are the last
+/// (memory) BPSK symbols; branch metrics are Euclidean distances between
+/// the observed soft sample and the expected superposition through the
+/// symbol-spaced composite channel g[0..memory]. g is derived from the
+/// (quantized) channel estimate and the pulse autocorrelation, so estimate
+/// precision (E6) directly shapes MLSE fidelity.
+
+#include <cstddef>
+
+#include "channel/cir.h"
+#include "common/types.h"
+#include "common/waveform.h"
+#include "equalizer/demodulator.h"
+
+namespace uwb::equalizer {
+
+/// MLSE configuration.
+struct MlseConfig {
+  int memory = 3;  ///< trellis memory in symbols (states = 2^memory)
+};
+
+/// Symbol-spaced composite channel g[l] seen by the symbol-rate sampler:
+/// g[l] = sum_k h_k R_pp(l T - d_k), from the estimated taps \p est and the
+/// pulse autocorrelation \p pulse_autocorr (peak at index \p autocorr_peak,
+/// sampled at \p fs). Returns memory+1 taps (l = 0..memory).
+std::vector<cplx> composite_symbol_channel(const channel::Cir& est,
+                                           const RealVec& pulse_autocorr,
+                                           std::size_t autocorr_peak, double fs,
+                                           std::size_t sps, int memory);
+
+/// BPSK MLSE (Viterbi demodulator).
+class MlseDemodulator {
+ public:
+  /// \p g is the composite symbol-spaced channel (g[0] = main tap).
+  MlseDemodulator(const MlseConfig& config, std::vector<cplx> g);
+
+  [[nodiscard]] const MlseConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<cplx>& channel() const noexcept { return g_; }
+  [[nodiscard]] int num_states() const noexcept { return 1 << config_.memory; }
+
+  /// Demodulates one complex observation per symbol (symbol-rate samples of
+  /// the matched-filtered waveform at the punctual timing). Returns hard
+  /// bits (0 -> +1, 1 -> -1 convention matching the BPSK mapper).
+  [[nodiscard]] BitVec demodulate(const CplxVec& observations) const;
+
+  /// Convenience: extracts symbol-rate observations from a waveform first.
+  [[nodiscard]] BitVec demodulate(const CplxWaveform& y, const SymbolTiming& timing) const;
+
+ private:
+  MlseConfig config_;
+  std::vector<cplx> g_;
+};
+
+}  // namespace uwb::equalizer

@@ -1,0 +1,87 @@
+#include "equalizer/rake.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::equalizer {
+
+RakeReceiver::RakeReceiver(const RakeConfig& config, const channel::Cir& estimate, double fs)
+    : config_(config) {
+  detail::require(config.num_fingers >= 1, "RakeReceiver: need at least one finger");
+  detail::require(fs > 0.0, "RakeReceiver: fs must be positive");
+
+  // Select taps per policy.
+  channel::Cir selected = estimate;
+  switch (config.policy) {
+    case FingerPolicy::kAll:
+      break;
+    case FingerPolicy::kSelective:
+      selected = estimate.strongest(config.num_fingers);
+      break;
+    case FingerPolicy::kPartial: {
+      std::vector<channel::CirTap> first(estimate.taps().begin(),
+                                         estimate.taps().begin() +
+                                             static_cast<std::ptrdiff_t>(std::min(
+                                                 config.num_fingers, estimate.num_taps())));
+      selected = channel::Cir(std::move(first));
+      break;
+    }
+  }
+
+  fingers_.reserve(selected.num_taps());
+  for (const auto& tap : selected.taps()) {
+    RakeFinger f;
+    f.delay_samples = static_cast<std::size_t>(std::llround(tap.delay_s * fs));
+    f.weight = tap.gain;
+    fingers_.push_back(f);
+    total_weight_energy_ += std::norm(tap.gain);
+  }
+  if (fingers_.empty()) {
+    fingers_.push_back(RakeFinger{});  // degenerate single punctual finger
+    total_weight_energy_ = 1.0;
+  }
+  const double total = estimate.total_energy();
+  energy_capture_ = (total > 0.0) ? selected.total_energy() / total : 1.0;
+}
+
+std::vector<double> RakeReceiver::demodulate(const CplxWaveform& y,
+                                             const SymbolTiming& timing) const {
+  detail::require(timing.sps >= 1, "RakeReceiver: sps must be >= 1");
+  std::vector<double> soft(timing.num_symbols, 0.0);
+  const double norm = 1.0 / std::max(total_weight_energy_, 1e-300);
+  for (std::size_t m = 0; m < timing.num_symbols; ++m) {
+    const std::size_t base = timing.t0 + m * timing.sps;
+    cplx acc{};
+    for (const auto& f : fingers_) {
+      const std::size_t idx = base + f.delay_samples;
+      if (idx < y.size()) acc += std::conj(f.weight) * y[idx];
+    }
+    soft[m] = acc.real() * norm;
+  }
+  return soft;
+}
+
+std::vector<double> RakeReceiver::demodulate_ppm(const CplxWaveform& y,
+                                                 const SymbolTiming& timing,
+                                                 std::size_t ppm_offset_samples) const {
+  detail::require(timing.sps >= 1, "RakeReceiver: sps must be >= 1");
+  std::vector<double> soft(2 * timing.num_symbols, 0.0);
+  const double norm = 1.0 / std::max(total_weight_energy_, 1e-300);
+  for (std::size_t m = 0; m < timing.num_symbols; ++m) {
+    const std::size_t base = timing.t0 + m * timing.sps;
+    cplx acc0{}, acc1{};
+    for (const auto& f : fingers_) {
+      const std::size_t i0 = base + f.delay_samples;
+      const std::size_t i1 = i0 + ppm_offset_samples;
+      if (i0 < y.size()) acc0 += std::conj(f.weight) * y[i0];
+      if (i1 < y.size()) acc1 += std::conj(f.weight) * y[i1];
+    }
+    soft[2 * m] = acc0.real() * norm;
+    soft[2 * m + 1] = acc1.real() * norm;
+  }
+  return soft;
+}
+
+}  // namespace uwb::equalizer

@@ -1,0 +1,64 @@
+#pragma once
+/// \file rake.h
+/// \brief Programmable RAKE receiver: "The energy spread caused by the
+///        multipath can be compensated using a RAKE receiver" (Section 1);
+///        gen-2 makes it programmable (Section 3). Finger count and
+///        selection policy are the power/performance knobs of bench E7/E13.
+
+#include "channel/cir.h"
+#include "common/types.h"
+#include "common/waveform.h"
+#include "equalizer/demodulator.h"
+
+namespace uwb::equalizer {
+
+/// Finger-selection policies.
+enum class FingerPolicy {
+  kAll,        ///< one finger per estimated tap (A-RAKE)
+  kSelective,  ///< the N strongest taps (S-RAKE)
+  kPartial,    ///< the first N arriving taps (P-RAKE)
+};
+
+/// RAKE configuration.
+struct RakeConfig {
+  FingerPolicy policy = FingerPolicy::kSelective;
+  std::size_t num_fingers = 8;
+};
+
+/// A finger: delay (in samples at the working rate) and combining weight.
+struct RakeFinger {
+  std::size_t delay_samples = 0;
+  cplx weight{1.0, 0.0};
+};
+
+/// Maximal-ratio-combining RAKE over a matched-filtered waveform.
+class RakeReceiver {
+ public:
+  /// Builds fingers from a channel estimate. \p fs is the waveform rate the
+  /// delays are quantized to.
+  RakeReceiver(const RakeConfig& config, const channel::Cir& estimate, double fs);
+
+  [[nodiscard]] const RakeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<RakeFinger>& fingers() const noexcept { return fingers_; }
+
+  /// Fraction of estimated channel energy the selected fingers capture.
+  [[nodiscard]] double energy_capture() const noexcept { return energy_capture_; }
+
+  /// MRC soft outputs: soft(m) = Re{ sum_f conj(w_f) y[t0 + m sps + d_f] }
+  /// normalized by the total finger energy.
+  [[nodiscard]] std::vector<double> demodulate(const CplxWaveform& y,
+                                               const SymbolTiming& timing) const;
+
+  /// PPM variant: punctual and offset correlations per symbol.
+  [[nodiscard]] std::vector<double> demodulate_ppm(const CplxWaveform& y,
+                                                   const SymbolTiming& timing,
+                                                   std::size_t ppm_offset_samples) const;
+
+ private:
+  RakeConfig config_;
+  std::vector<RakeFinger> fingers_;
+  double total_weight_energy_ = 0.0;
+  double energy_capture_ = 0.0;
+};
+
+}  // namespace uwb::equalizer

@@ -1,0 +1,109 @@
+#include "fec/viterbi_decoder.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace uwb::fec {
+
+ViterbiDecoder::ViterbiDecoder(const ConvCode& code) : code_(code) {}
+
+template <typename MetricFn>
+BitVec ViterbiDecoder::run(std::size_t num_steps, MetricFn&& branch_metric) const {
+  const auto& cc = code_.code();
+  const int num_states = cc.num_states();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+
+  // Path metrics: encoder starts (and, via the tail, ends) in state 0.
+  std::vector<double> metric(static_cast<std::size_t>(num_states), inf);
+  metric[0] = 0.0;
+  std::vector<double> next_metric(static_cast<std::size_t>(num_states));
+
+  // survivors[t][s] = input bit of the surviving branch into state s at t,
+  // plus the predecessor state, packed for traceback.
+  struct Survivor {
+    int16_t prev_state = -1;
+    int8_t input = 0;
+  };
+  std::vector<std::vector<Survivor>> survivors(
+      num_steps, std::vector<Survivor>(static_cast<std::size_t>(num_states)));
+
+  for (std::size_t t = 0; t < num_steps; ++t) {
+    for (int s = 0; s < num_states; ++s) next_metric[static_cast<std::size_t>(s)] = inf;
+    for (int s = 0; s < num_states; ++s) {
+      const double pm = metric[static_cast<std::size_t>(s)];
+      if (pm == inf) continue;
+      for (int b = 0; b <= 1; ++b) {
+        const int ns = code_.next_state(s, b);
+        const uint32_t expected = code_.branch_output(s, b);
+        const double m = pm + branch_metric(t, expected);
+        if (m < next_metric[static_cast<std::size_t>(ns)]) {
+          next_metric[static_cast<std::size_t>(ns)] = m;
+          survivors[t][static_cast<std::size_t>(ns)] = {static_cast<int16_t>(s),
+                                                        static_cast<int8_t>(b)};
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Zero tail forces termination in state 0; trace back from there.
+  BitVec decoded(num_steps);
+  int state = 0;
+  for (std::size_t t = num_steps; t-- > 0;) {
+    const Survivor& sv = survivors[t][static_cast<std::size_t>(state)];
+    decoded[t] = static_cast<uint8_t>(sv.input);
+    state = sv.prev_state;
+    if (state < 0) {
+      // Unreachable state (corrupt input shorter than constraint length);
+      // bail out with what we have.
+      break;
+    }
+  }
+  // Strip the zero tail.
+  decoded.resize(num_steps - static_cast<std::size_t>(cc.memory()));
+  return decoded;
+}
+
+BitVec ViterbiDecoder::decode_hard(const BitVec& coded) const {
+  const auto& cc = code_.code();
+  const auto n_out = static_cast<std::size_t>(cc.rate_denominator());
+  detail::require(coded.size() % n_out == 0,
+                  "ViterbiDecoder: coded length not a multiple of the code rate");
+  const std::size_t num_steps = coded.size() / n_out;
+  detail::require(num_steps > static_cast<std::size_t>(cc.memory()),
+                  "ViterbiDecoder: codeword shorter than the tail");
+
+  return run(num_steps, [&](std::size_t t, uint32_t expected) {
+    // Hamming distance between received and expected coded bits.
+    double d = 0.0;
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const uint8_t rx = coded[t * n_out + i] & 1u;
+      const auto ex = static_cast<uint8_t>((expected >> i) & 1u);
+      d += (rx != ex) ? 1.0 : 0.0;
+    }
+    return d;
+  });
+}
+
+BitVec ViterbiDecoder::decode_soft(const std::vector<double>& llr) const {
+  const auto& cc = code_.code();
+  const auto n_out = static_cast<std::size_t>(cc.rate_denominator());
+  detail::require(llr.size() % n_out == 0,
+                  "ViterbiDecoder: soft length not a multiple of the code rate");
+  const std::size_t num_steps = llr.size() / n_out;
+  detail::require(num_steps > static_cast<std::size_t>(cc.memory()),
+                  "ViterbiDecoder: codeword shorter than the tail");
+
+  return run(num_steps, [&](std::size_t t, uint32_t expected) {
+    // Negative correlation metric: expected bit 0 -> +1, 1 -> -1.
+    double m = 0.0;
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const double sign = ((expected >> i) & 1u) ? -1.0 : 1.0;
+      m -= sign * llr[t * n_out + i];
+    }
+    return m;
+  });
+}
+
+}  // namespace uwb::fec

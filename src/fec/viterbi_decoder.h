@@ -1,0 +1,34 @@
+#pragma once
+/// \file viterbi_decoder.h
+/// \brief Maximum-likelihood (Viterbi) decoding of convolutional codes, with
+///        hard-decision (Hamming) and soft-decision (correlation) metrics.
+
+#include "common/types.h"
+#include "fec/convolutional.h"
+
+namespace uwb::fec {
+
+/// Block Viterbi decoder for zero-terminated codewords.
+class ViterbiDecoder {
+ public:
+  explicit ViterbiDecoder(const ConvCode& code);
+
+  [[nodiscard]] const ConvCode& code() const noexcept { return code_.code(); }
+
+  /// Hard-decision decode of coded bits (as produced by ConvEncoder::encode,
+  /// including the tail). Returns the info bits (tail stripped).
+  [[nodiscard]] BitVec decode_hard(const BitVec& coded) const;
+
+  /// Soft-decision decode. \p llr holds one value per coded bit, positive
+  /// meaning "bit 0 more likely" (i.e. the matched-filter output for a
+  /// 0 -> +1 / 1 -> -1 mapping).
+  [[nodiscard]] BitVec decode_soft(const std::vector<double>& llr) const;
+
+ private:
+  template <typename MetricFn>
+  [[nodiscard]] BitVec run(std::size_t num_steps, MetricFn&& branch_metric) const;
+
+  ConvEncoder code_;
+};
+
+}  // namespace uwb::fec

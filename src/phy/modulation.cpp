@@ -1,0 +1,156 @@
+#include "phy/modulation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::phy {
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kOok:  return "OOK";
+    case Modulation::kPpm:  return "2-PPM";
+    case Modulation::kPam4: return "4-PAM";
+  }
+  return "?";
+}
+
+namespace {
+
+class BpskModulator final : public Modulator {
+ public:
+  [[nodiscard]] Modulation scheme() const noexcept override { return Modulation::kBpsk; }
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return 1; }
+
+  [[nodiscard]] SymbolMapping map(const BitVec& bits) const override {
+    SymbolMapping m;
+    m.bits_per_symbol = 1;
+    m.weights.reserve(bits.size());
+    for (auto b : bits) m.weights.push_back(b ? -1.0 : 1.0);
+    return m;
+  }
+
+  [[nodiscard]] BitVec demap(const std::vector<double>& soft) const override {
+    BitVec bits(soft.size());
+    for (std::size_t i = 0; i < soft.size(); ++i) bits[i] = soft[i] < 0.0 ? 1 : 0;
+    return bits;
+  }
+};
+
+class OokModulator final : public Modulator {
+ public:
+  [[nodiscard]] Modulation scheme() const noexcept override { return Modulation::kOok; }
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return 1; }
+
+  [[nodiscard]] SymbolMapping map(const BitVec& bits) const override {
+    SymbolMapping m;
+    m.bits_per_symbol = 1;
+    m.weights.reserve(bits.size());
+    // "On" amplitude sqrt(2) keeps the average energy per bit at 1 for
+    // equiprobable data, making Eb/N0 sweeps comparable with BPSK.
+    for (auto b : bits) m.weights.push_back(b ? std::numbers::sqrt2 : 0.0);
+    return m;
+  }
+
+  [[nodiscard]] BitVec demap(const std::vector<double>& soft) const override {
+    // Optimal threshold for {0, sqrt(2)} at high SNR: half the "on" level.
+    const double threshold = std::numbers::sqrt2 / 2.0;
+    BitVec bits(soft.size());
+    for (std::size_t i = 0; i < soft.size(); ++i) bits[i] = soft[i] > threshold ? 1 : 0;
+    return bits;
+  }
+};
+
+class PpmModulator final : public Modulator {
+ public:
+  explicit PpmModulator(double prf_hz) : delta_s_(ppm_frame_fraction / prf_hz) {
+    detail::require(prf_hz > 0.0, "PpmModulator: prf must be positive");
+  }
+
+  [[nodiscard]] Modulation scheme() const noexcept override { return Modulation::kPpm; }
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return 1; }
+  [[nodiscard]] int correlations_per_symbol() const noexcept override { return 2; }
+
+  [[nodiscard]] SymbolMapping map(const BitVec& bits) const override {
+    SymbolMapping m;
+    m.bits_per_symbol = 1;
+    m.weights.assign(bits.size(), 1.0);
+    m.time_offsets_s.reserve(bits.size());
+    for (auto b : bits) m.time_offsets_s.push_back(b ? delta_s_ : 0.0);
+    return m;
+  }
+
+  [[nodiscard]] BitVec demap(const std::vector<double>& soft) const override {
+    detail::require(soft.size() % 2 == 0, "PpmModulator::demap: need 2 correlations/symbol");
+    BitVec bits(soft.size() / 2);
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      bits[k] = soft[2 * k + 1] > soft[2 * k] ? 1 : 0;
+    }
+    return bits;
+  }
+
+  [[nodiscard]] double delta_s() const noexcept { return delta_s_; }
+
+ private:
+  double delta_s_;
+};
+
+class Pam4Modulator final : public Modulator {
+ public:
+  [[nodiscard]] Modulation scheme() const noexcept override { return Modulation::kPam4; }
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return 2; }
+
+  [[nodiscard]] SymbolMapping map(const BitVec& bits) const override {
+    detail::require(bits.size() % 2 == 0, "Pam4Modulator::map: bit count must be even");
+    SymbolMapping m;
+    m.bits_per_symbol = 2;
+    m.weights.reserve(bits.size() / 2);
+    // Gray map (b1 b0): 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3, levels
+    // scaled by 1/sqrt(5) for unit average energy per symbol pair of bits
+    // (mean of {1,9} * 2 levels = 5 per symbol; Es = 2 Eb => scale).
+    for (std::size_t k = 0; k < bits.size(); k += 2) {
+      const int b1 = bits[k] & 1, b0 = bits[k + 1] & 1;
+      double level = 0.0;
+      if (b1 == 0 && b0 == 0) level = -3.0;
+      else if (b1 == 0 && b0 == 1) level = -1.0;
+      else if (b1 == 1 && b0 == 1) level = 1.0;
+      else level = 3.0;
+      m.weights.push_back(level * scale_);
+    }
+    return m;
+  }
+
+  [[nodiscard]] BitVec demap(const std::vector<double>& soft) const override {
+    BitVec bits(soft.size() * 2);
+    for (std::size_t k = 0; k < soft.size(); ++k) {
+      const double v = soft[k] / scale_;
+      int b1, b0;
+      if (v < -2.0) { b1 = 0; b0 = 0; }
+      else if (v < 0.0) { b1 = 0; b0 = 1; }
+      else if (v < 2.0) { b1 = 1; b0 = 1; }
+      else { b1 = 1; b0 = 0; }
+      bits[2 * k] = static_cast<uint8_t>(b1);
+      bits[2 * k + 1] = static_cast<uint8_t>(b0);
+    }
+    return bits;
+  }
+
+ private:
+  // Es(mean) = (9+1+1+9)/4 = 5; with 2 bits/symbol unit-Eb needs Es = 2.
+  double scale_ = std::sqrt(2.0 / 5.0);
+};
+
+}  // namespace
+
+std::unique_ptr<Modulator> make_modulator(Modulation scheme, double prf_hz) {
+  switch (scheme) {
+    case Modulation::kBpsk: return std::make_unique<BpskModulator>();
+    case Modulation::kOok:  return std::make_unique<OokModulator>();
+    case Modulation::kPpm:  return std::make_unique<PpmModulator>(prf_hz);
+    case Modulation::kPam4: return std::make_unique<Pam4Modulator>();
+  }
+  throw InvalidArgument("make_modulator: unknown scheme");
+}
+
+}  // namespace uwb::phy

@@ -1,0 +1,118 @@
+#include "pulse/pulse_shape.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+#include "dsp/filter_design.h"
+
+namespace uwb::pulse {
+
+namespace {
+
+/// Builds a symmetric time axis covering +/- span with step 1/fs and applies
+/// the generator g(t); normalizes the peak to 1.
+template <typename G>
+RealWaveform symmetric_pulse(double span_s, double fs, G&& g) {
+  const auto half = static_cast<std::size_t>(std::ceil(span_s * fs));
+  const std::size_t n = 2 * half + 1;
+  RealVec samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) - static_cast<double>(half)) / fs;
+    samples[i] = g(t);
+  }
+  const double peak = peak_abs(samples);
+  if (peak > 0.0) {
+    for (auto& v : samples) v /= peak;
+  }
+  return RealWaveform(std::move(samples), fs);
+}
+
+}  // namespace
+
+RealWaveform gaussian_pulse(double sigma_s, double fs) {
+  detail::require(sigma_s > 0.0 && fs > 0.0, "gaussian_pulse: sigma and fs must be positive");
+  return symmetric_pulse(4.0 * sigma_s, fs, [sigma_s](double t) {
+    return std::exp(-t * t / (2.0 * sigma_s * sigma_s));
+  });
+}
+
+RealWaveform gaussian_monocycle(double sigma_s, double fs) {
+  detail::require(sigma_s > 0.0 && fs > 0.0, "gaussian_monocycle: sigma and fs must be positive");
+  return symmetric_pulse(4.5 * sigma_s, fs, [sigma_s](double t) {
+    return -t * std::exp(-t * t / (2.0 * sigma_s * sigma_s));
+  });
+}
+
+RealWaveform gaussian_doublet(double sigma_s, double fs) {
+  detail::require(sigma_s > 0.0 && fs > 0.0, "gaussian_doublet: sigma and fs must be positive");
+  const double s2 = sigma_s * sigma_s;
+  return symmetric_pulse(5.0 * sigma_s, fs, [s2](double t) {
+    return (t * t / s2 - 1.0) * std::exp(-t * t / (2.0 * s2));
+  });
+}
+
+RealWaveform rrc_pulse(double bandwidth_hz, double beta, int span_symbols, double fs) {
+  detail::require(bandwidth_hz > 0.0, "rrc_pulse: bandwidth must be positive");
+  detail::require(fs > (1.0 + beta) * bandwidth_hz,
+                  "rrc_pulse: fs must exceed the occupied bandwidth");
+  // RRC with roll-off beta occupies (1+beta)/T two-sided; choose the symbol
+  // rate so the occupied band equals bandwidth_hz.
+  const double symbol_rate = bandwidth_hz / (1.0 + beta);
+  const int sps = static_cast<int>(std::round(fs / symbol_rate));
+  detail::require(sps >= 2, "rrc_pulse: insufficient oversampling");
+  RealVec taps = dsp::design_root_raised_cosine(symbol_rate, beta, span_symbols, sps);
+  const double peak = peak_abs(taps);
+  for (auto& v : taps) v /= peak;
+  return RealWaveform(std::move(taps), fs);
+}
+
+RealWaveform rectangular_pulse(double duration_s, double fs) {
+  detail::require(duration_s > 0.0 && fs > 0.0, "rectangular_pulse: bad arguments");
+  const auto n = std::max<std::size_t>(1, static_cast<std::size_t>(std::round(duration_s * fs)));
+  return RealWaveform(RealVec(n, 1.0), fs);
+}
+
+double gaussian_sigma_for_bandwidth(double bandwidth_hz) {
+  // |G(f)| = exp(-(2 pi f sigma)^2 / 2); -10 dB (power) at
+  // (2 pi f sigma)^2 = ln(10)  =>  f10 = sqrt(ln 10) / (2 pi sigma).
+  // Two-sided -10 dB bandwidth B = 2 f10 => sigma = sqrt(ln 10)/(pi B).
+  detail::require(bandwidth_hz > 0.0, "gaussian_sigma_for_bandwidth: bandwidth must be positive");
+  return std::sqrt(std::log(10.0)) / (pi * bandwidth_hz);
+}
+
+RealWaveform make_pulse(const PulseSpec& spec) {
+  switch (spec.shape) {
+    case PulseShape::kGaussian:
+      return gaussian_pulse(gaussian_sigma_for_bandwidth(spec.bandwidth_hz),
+                            spec.sample_rate_hz);
+    case PulseShape::kGaussianMono:
+      return gaussian_monocycle(gaussian_sigma_for_bandwidth(spec.bandwidth_hz),
+                                spec.sample_rate_hz);
+    case PulseShape::kGaussianDoublet:
+      return gaussian_doublet(gaussian_sigma_for_bandwidth(spec.bandwidth_hz),
+                              spec.sample_rate_hz);
+    case PulseShape::kRootRaisedCos:
+      return rrc_pulse(spec.bandwidth_hz, spec.rrc_beta, spec.rrc_span_symbols,
+                       spec.sample_rate_hz);
+    case PulseShape::kRectangular:
+      return rectangular_pulse(1.0 / spec.bandwidth_hz, spec.sample_rate_hz);
+  }
+  throw InvalidArgument("make_pulse: unknown shape");
+}
+
+double pulse_duration(const RealWaveform& p, double fraction) {
+  detail::require(fraction > 0.0 && fraction < 1.0, "pulse_duration: fraction in (0,1)");
+  const double thresh = fraction * peak_abs(p.samples());
+  std::size_t first = p.size(), last = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (std::abs(p[i]) >= thresh) {
+      if (first == p.size()) first = i;
+      last = i;
+    }
+  }
+  if (first >= last) return 0.0;
+  return static_cast<double>(last - first) / p.sample_rate();
+}
+
+}  // namespace uwb::pulse

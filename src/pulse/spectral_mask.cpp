@@ -1,0 +1,64 @@
+#include "pulse/spectral_mask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+
+namespace uwb::pulse {
+
+std::vector<MaskSegment> fcc_indoor_mask() {
+  // FCC 02-48 indoor limits, EIRP in dBm/MHz.
+  return {
+      {0.0, 960e6, -41.3},
+      {960e6, 1610e6, -75.3},
+      {1610e6, 1990e6, -53.3},
+      {1990e6, 3100e6, -51.3},
+      {3100e6, 10600e6, -41.3},
+      {10600e6, 200e9, -51.3},
+  };
+}
+
+double mask_limit_at(const std::vector<MaskSegment>& mask, double freq_hz) {
+  for (const auto& seg : mask) {
+    if (freq_hz >= seg.low_hz && freq_hz < seg.high_hz) return seg.limit_dbm_per_mhz;
+  }
+  // Outside every segment: apply the last segment's limit as a conservative
+  // default.
+  detail::require(!mask.empty(), "mask_limit_at: empty mask");
+  return mask.back().limit_dbm_per_mhz;
+}
+
+MaskReport check_mask(const dsp::Psd& psd, const std::vector<MaskSegment>& mask) {
+  detail::require(!psd.freq_hz.empty(), "check_mask: empty PSD");
+  MaskReport report;
+  report.worst_margin_db = std::numeric_limits<double>::max();
+  report.inband_peak_dbm_per_mhz = -std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < psd.freq_hz.size(); ++i) {
+    const double f = psd.freq_hz[i];
+    if (f < 0.0) continue;  // one-sided expected; skip negative bins if any
+    const double level = psd.dbm_per_mhz(i);
+    const double limit = mask_limit_at(mask, f);
+    const double margin = limit - level;
+    if (margin < report.worst_margin_db) {
+      report.worst_margin_db = margin;
+      report.worst_freq_hz = f;
+    }
+    if (f >= fcc_band_low_hz && f <= fcc_band_high_hz) {
+      report.inband_peak_dbm_per_mhz = std::max(report.inband_peak_dbm_per_mhz, level);
+    }
+  }
+  report.compliant = report.worst_margin_db >= 0.0;
+  return report;
+}
+
+double max_power_scale(const dsp::Psd& psd, const std::vector<MaskSegment>& mask) {
+  const MaskReport report = check_mask(psd, mask);
+  // Scaling power by g shifts every dB level by 10 log10 g; the binding
+  // constraint is the worst margin.
+  return from_db(report.worst_margin_db);
+}
+
+}  // namespace uwb::pulse

@@ -1,0 +1,45 @@
+#pragma once
+/// \file spectral_mask.h
+/// \brief FCC Part 15 UWB indoor emission mask (-41.3 dBm/MHz in-band) and
+///        compliance checking / power scaling against a measured PSD.
+
+#include <vector>
+
+#include "common/types.h"
+#include "dsp/power_spectrum.h"
+
+namespace uwb::pulse {
+
+/// One segment of a piecewise-constant emission mask.
+struct MaskSegment {
+  double low_hz;
+  double high_hz;
+  double limit_dbm_per_mhz;
+};
+
+/// Result of checking a PSD against the mask.
+struct MaskReport {
+  bool compliant = false;
+  double worst_margin_db = 0.0;   ///< min over bins of (limit - level); <0 means violation
+  double worst_freq_hz = 0.0;     ///< frequency of the worst margin
+  double inband_peak_dbm_per_mhz = 0.0;  ///< peak level inside 3.1-10.6 GHz
+};
+
+/// The FCC indoor UWB mask (Part 15.517): -41.3 dBm/MHz in 3.1-10.6 GHz,
+/// stricter skirts outside (values per the 2002 R&O).
+std::vector<MaskSegment> fcc_indoor_mask();
+
+/// Mask limit at a frequency (+inf outside all segments... practically the
+/// GPS band limit is the strictest; unknown regions return the in-band
+/// limit of the nearest segment edge).
+double mask_limit_at(const std::vector<MaskSegment>& mask, double freq_hz);
+
+/// Checks a one-sided PSD (from dsp::welch_psd of a passband signal) against
+/// the mask.
+MaskReport check_mask(const dsp::Psd& psd, const std::vector<MaskSegment>& mask);
+
+/// Largest scale factor g such that the PSD of g*x still meets the mask;
+/// multiply amplitudes by sqrt(power_scale). Returns the power scale.
+double max_power_scale(const dsp::Psd& psd, const std::vector<MaskSegment>& mask);
+
+}  // namespace uwb::pulse

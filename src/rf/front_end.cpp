@@ -1,0 +1,105 @@
+#include "rf/front_end.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+#include "dsp/filter_design.h"
+#include "dsp/fir_filter.h"
+#include "dsp/resampler.h"
+
+namespace uwb::rf {
+
+double cascade_noise_figure_db(const std::vector<CascadeStage>& stages) {
+  detail::require(!stages.empty(), "cascade_noise_figure_db: empty chain");
+  double f_total = 0.0;
+  double gain_product = 1.0;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const double f = from_db(stages[i].noise_figure_db);
+    if (i == 0) {
+      f_total = f;
+    } else {
+      f_total += (f - 1.0) / gain_product;
+    }
+    gain_product *= from_db(stages[i].gain_db);
+  }
+  return to_db(f_total);
+}
+
+FrontEnd::FrontEnd(const FrontEndParams& params, const pulse::BandPlan& plan)
+    : params_(params), plan_(plan), lna_(params.lna), synth_(plan, params.synth),
+      agc_(params.agc) {
+  anti_alias_taps_ = dsp::design_lowpass(params.baseband_cutoff_hz, params.analog_fs,
+                                         params.anti_alias_taps);
+}
+
+void FrontEnd::set_notch(double f0_offset_hz, double fs) {
+  notch_.emplace(f0_offset_hz, fs);
+}
+
+double FrontEnd::system_noise_figure_db() const {
+  // LNA -> mixer (assumed 10 dB NF, 0 dB conversion gain) -> baseband VGA
+  // (15 dB NF). Representative 2005-era direct-conversion numbers.
+  return cascade_noise_figure_db({
+      {"lna", params_.lna.gain_db, params_.lna.noise_figure_db},
+      {"mixer", 0.0, 10.0},
+      {"vga", 20.0, 15.0},
+  });
+}
+
+CplxWaveform FrontEnd::process_baseband(const CplxWaveform& x, double input_noise_variance,
+                                        Rng& rng) {
+  detail::require(x.sample_rate() == params_.analog_fs,
+                  "FrontEnd::process_baseband: configure analog_fs to match the input");
+  CplxWaveform y = x;
+  // LNA: excess noise + envelope compression + gain.
+  lna_.process(y, input_noise_variance, rng);
+  // LO phase noise (multiplicative).
+  synth_.apply_phase_noise(y.samples(), y.sample_rate(), rng);
+  // Direct-conversion I/Q impairments.
+  if (!params_.iq.ideal()) {
+    y = apply_iq_impairments(y, params_.iq);
+  }
+  // Anti-alias lowpass ahead of the converters (the baseband filter of the
+  // direct-conversion chain). Without it, wideband noise folds into the
+  // ADC's Nyquist band and costs several dB of effective Eb/N0.
+  y = dsp::filter_same(y, anti_alias_taps_);
+  // Optional interferer notch.
+  if (notch_.has_value()) {
+    notch_->reset();
+    y = notch_->process(y);
+  }
+  // AGC loads the ADC.
+  if (params_.enable_agc) {
+    y = agc_.one_shot(y);
+  }
+  return y;
+}
+
+CplxWaveform FrontEnd::process_passband(const RealWaveform& rf, double input_noise_variance,
+                                        int decim, Rng& rng) {
+  detail::require(decim >= 1, "process_passband: decimation must be >= 1");
+  RealWaveform amplified = rf;
+  lna_.process(amplified, input_noise_variance, rng);
+
+  Downconverter down(synth_.frequency(), params_.baseband_cutoff_hz, rf.sample_rate(),
+                     params_.iq);
+  CplxWaveform bb = down.process(amplified);
+  synth_.apply_phase_noise(bb.samples(), bb.sample_rate(), rng);
+
+  if (decim > 1) {
+    bb = CplxWaveform(dsp::downsample_raw(bb.samples(), decim), bb.sample_rate() / decim);
+  }
+  if (notch_.has_value()) {
+    notch_->reset();
+    // Re-tune the notch object to the decimated rate domain if needed: the
+    // notch was configured by set_notch with an explicit fs, trust it.
+    bb = notch_->process(bb);
+  }
+  if (params_.enable_agc) {
+    bb = agc_.one_shot(bb);
+  }
+  return bb;
+}
+
+}  // namespace uwb::rf

@@ -1,0 +1,85 @@
+#include "rf/lna.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+
+namespace uwb::rf {
+
+Lna::Lna(const LnaParams& params) : params_(params) {
+  detail::require(params.noise_figure_db >= 0.0, "Lna: noise figure must be >= 0 dB");
+  detail::require(params.headroom_db > 0.0, "Lna: headroom must be positive");
+  gain_amp_ = db_to_amp(params.gain_db);
+  excess_noise_factor_ = from_db(params.noise_figure_db) - 1.0;
+  headroom_amp_ = db_to_amp(params.headroom_db);
+}
+
+double Lna::saturation_amplitude(double input_rms) const noexcept {
+  return input_rms * headroom_amp_;
+}
+
+namespace {
+
+/// Soft limiter: sat * tanh(x / sat); odd, smooth, ~linear for small x.
+inline double soft_clip(double x, double sat) noexcept {
+  return sat * std::tanh(x / sat);
+}
+
+inline cplx soft_clip(const cplx& x, double sat) noexcept {
+  // Envelope limiting: compress magnitude, keep phase.
+  const double mag = std::abs(x);
+  if (mag < 1e-300) return x;
+  return x * (soft_clip(mag, sat) / mag);
+}
+
+template <typename T>
+double rms_of(const std::vector<T>& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& v : x) {
+    if constexpr (std::is_same_v<T, cplx>) {
+      acc += std::norm(v);
+    } else {
+      acc += v * v;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+}  // namespace
+
+template <typename T>
+void Lna::process_impl(std::vector<T>& x, double input_noise_variance, Rng& rng) const {
+  const double added_var = excess_noise_factor_ * input_noise_variance;
+  const double sigma = std::sqrt(std::max(added_var, 0.0));
+  const double input_rms = rms_of(x);
+  const double sat = saturation_amplitude(input_rms);
+  for (auto& v : x) {
+    if (sigma > 0.0) {
+      if constexpr (std::is_same_v<T, cplx>) {
+        v += rng.cgaussian(sigma * sigma);
+      } else {
+        v += rng.gaussian(0.0, sigma);
+      }
+    }
+    if (sat > 0.0) {
+      v = soft_clip(v, sat) * gain_amp_;
+    } else {
+      v = v * gain_amp_;
+    }
+  }
+}
+
+void Lna::process(RealWaveform& x, double input_noise_variance, Rng& rng) const {
+  process_impl(x.samples(), input_noise_variance, rng);
+}
+
+void Lna::process(CplxWaveform& x, double input_noise_variance, Rng& rng) const {
+  process_impl(x.samples(), input_noise_variance, rng);
+}
+
+template void Lna::process_impl<double>(std::vector<double>&, double, Rng&) const;
+template void Lna::process_impl<cplx>(std::vector<cplx>&, double, Rng&) const;
+
+}  // namespace uwb::rf

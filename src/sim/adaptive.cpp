@@ -1,0 +1,89 @@
+#include "sim/adaptive.h"
+
+#include "common/error.h"
+
+namespace uwb::sim {
+
+AdaptationObservation observe(const txrx::Gen2RxResult& rx) {
+  AdaptationObservation obs;
+  obs.snr_db = rx.snr_estimate_db;
+  obs.delay_spread_s = rx.channel_estimate.rms_delay_spread();
+  obs.interferer = rx.interferer.detected;
+  return obs;
+}
+
+namespace {
+
+AdaptationDecision rung_minimal() { return {"minimal", 2, false, 1, 2}; }
+AdaptationDecision rung_low() { return {"low", 4, false, 1, 3}; }
+AdaptationDecision rung_nominal() { return {"nominal", 8, true, 3, 4}; }
+AdaptationDecision rung_maximal() { return {"maximal", 16, true, 5, 4}; }
+
+}  // namespace
+
+LinkAdapter::LinkAdapter(double bit_period_s, double snr_headroom_db)
+    : bit_period_s_(bit_period_s), snr_headroom_db_(snr_headroom_db),
+      current_(rung_nominal()), pending_(rung_nominal()) {
+  detail::require(bit_period_s > 0.0, "LinkAdapter: bit period must be positive");
+}
+
+AdaptationDecision LinkAdapter::decide(const AdaptationObservation& obs) const {
+  // Multipath severity: ISI span in bit periods.
+  const double isi_bits = obs.delay_spread_s / bit_period_s_;
+
+  AdaptationDecision decision;
+  if (isi_bits > 1.2) {
+    decision = rung_maximal();
+  } else if (isi_bits > 0.5) {
+    decision = rung_nominal();
+  } else if (isi_bits > 0.2) {
+    decision = rung_low();
+  } else {
+    decision = rung_minimal();
+  }
+
+  // Generous SNR headroom lets the controller shed one rung of effort;
+  // starved links escalate one rung.
+  if (obs.snr_db > 14.0 + snr_headroom_db_ && decision.rung == "nominal") {
+    decision = rung_low();
+  } else if (obs.snr_db < 10.0 && decision.rung == "minimal") {
+    decision = rung_low();
+  } else if (obs.snr_db < 10.0 && decision.rung == "low") {
+    decision = rung_nominal();
+  }
+
+  // The interference path (monitor + notch + restored dynamic range) needs
+  // at least the nominal back end.
+  if (obs.interferer &&
+      (decision.rung == "minimal" || decision.rung == "low")) {
+    decision = rung_nominal();
+  }
+  return decision;
+}
+
+AdaptationDecision LinkAdapter::update(const AdaptationObservation& obs) {
+  const AdaptationDecision wanted = decide(obs);
+  if (wanted == current_) {
+    pending_count_ = 0;
+    return current_;
+  }
+  if (wanted == pending_) {
+    if (++pending_count_ >= kPersistence) {
+      current_ = wanted;
+      pending_count_ = 0;
+    }
+  } else {
+    pending_ = wanted;
+    pending_count_ = 1;
+  }
+  return current_;
+}
+
+void LinkAdapter::apply(const AdaptationDecision& decision, txrx::Gen2Config& config) {
+  config.rake.num_fingers = decision.rake_fingers;
+  config.use_mlse = decision.use_mlse;
+  config.mlse.memory = decision.mlse_memory;
+  config.chanest.quantization_bits = decision.chanest_bits;
+}
+
+}  // namespace uwb::sim

@@ -1,0 +1,77 @@
+#pragma once
+/// \file adaptive.h
+/// \brief The reconfiguration controller the paper's closing paragraph
+///        implies: "This receiver allows us to trade off power dissipation
+///        with signal processing complexity, quality of service and data
+///        rate, adapting to channel conditions."
+///
+/// The controller watches what the receiver already measures per packet --
+/// SNR estimate, channel-estimate delay spread, interferer flag -- and
+/// picks a back-end configuration rung: RAKE finger count, MLSE memory,
+/// ADC resolution. Hysteresis keeps it from thrashing between rungs.
+
+#include <cstddef>
+#include <string>
+
+#include "txrx/receiver_gen2.h"
+#include "txrx/transceiver_config.h"
+
+namespace uwb::sim {
+
+/// What the controller reads from the receiver's per-packet diagnostics.
+struct AdaptationObservation {
+  double snr_db = 20.0;
+  double delay_spread_s = 0.0;  ///< rms delay spread of the CIR estimate
+  bool interferer = false;
+};
+
+/// Builds the observation from a receive result.
+AdaptationObservation observe(const txrx::Gen2RxResult& rx);
+
+/// One configuration rung.
+struct AdaptationDecision {
+  std::string rung;            ///< "minimal" / "low" / "nominal" / "maximal"
+  std::size_t rake_fingers = 8;
+  bool use_mlse = true;
+  int mlse_memory = 3;
+  int chanest_bits = 4;
+
+  bool operator==(const AdaptationDecision& other) const {
+    return rung == other.rung;
+  }
+};
+
+/// Threshold-based controller with hysteresis.
+///
+/// Policy: the multipath severity (delay spread relative to the bit
+/// period) sets the combining/equalization effort, SNR headroom relaxes
+/// it, and a detected interferer always forces at least the nominal rung
+/// (the notch path needs the monitor's resolution).
+class LinkAdapter {
+ public:
+  /// \p bit_period_s is the symbol duration the ISI is measured against.
+  explicit LinkAdapter(double bit_period_s = 10e-9, double snr_headroom_db = 8.0);
+
+  /// Picks a rung for the observed conditions.
+  [[nodiscard]] AdaptationDecision decide(const AdaptationObservation& obs) const;
+
+  /// Stateful update with hysteresis: only moves when decide() differs from
+  /// the current rung for \p persistence consecutive calls.
+  AdaptationDecision update(const AdaptationObservation& obs);
+
+  /// Writes a decision into a configuration (the fields the paper calls
+  /// programmable). Converter hardware fields stay untouched.
+  static void apply(const AdaptationDecision& decision, txrx::Gen2Config& config);
+
+  [[nodiscard]] const AdaptationDecision& current() const noexcept { return current_; }
+
+ private:
+  double bit_period_s_;
+  double snr_headroom_db_;
+  AdaptationDecision current_;
+  AdaptationDecision pending_;
+  int pending_count_ = 0;
+  static constexpr int kPersistence = 2;
+};
+
+}  // namespace uwb::sim

@@ -1,0 +1,23 @@
+#include "sim/ber_simulator.h"
+
+namespace uwb::sim {
+
+BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop) {
+  BerCounter counter;
+  std::size_t trials = 0;
+  while (counter.errors() < stop.min_errors && counter.bits() < stop.max_bits &&
+         trials < stop.max_trials) {
+    const TrialOutcome out = trial();
+    counter.add(out.errors, out.bits);
+    ++trials;
+  }
+  BerPoint point;
+  point.ber = counter.ber();
+  point.ci95 = counter.ci95_halfwidth();
+  point.bits = counter.bits();
+  point.errors = counter.errors();
+  point.trials = trials;
+  return point;
+}
+
+}  // namespace uwb::sim

@@ -1,0 +1,38 @@
+#pragma once
+/// \file ber_simulator.h
+/// \brief Monte-Carlo BER estimation with an error-count stopping rule: run
+///        packet trials until min_errors errors or max_bits bits, whichever
+///        comes first. All link benches share this loop.
+
+#include <functional>
+
+#include "sim/metrics.h"
+
+namespace uwb::sim {
+
+/// One trial's contribution.
+struct TrialOutcome {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+};
+
+/// Stopping rule.
+struct BerStop {
+  std::size_t min_errors = 50;    ///< stop after this many errors...
+  std::size_t max_bits = 2'000'000;  ///< ...or this many bits
+  std::size_t max_trials = 100'000;
+};
+
+/// A measured BER point.
+struct BerPoint {
+  double ber = 0.0;
+  double ci95 = 0.0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  std::size_t trials = 0;
+};
+
+/// Runs \p trial repeatedly under the stopping rule.
+BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop = {});
+
+}  // namespace uwb::sim

@@ -1,0 +1,51 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uwb::sim {
+
+double BerCounter::ci95_halfwidth() const noexcept {
+  if (bits_ == 0) return 0.0;
+  const double n = static_cast<double>(bits_);
+  const double p = ber();
+  const double z = 1.96;
+  // Wilson: center shifts slightly; report the half-width around p.
+  const double denom = 1.0 + z * z / n;
+  const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+  return half;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(RealVec values, double p) {
+  detail::require(!values.empty(), "percentile: empty sample");
+  detail::require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace uwb::sim

@@ -1,0 +1,64 @@
+#pragma once
+/// \file metrics.h
+/// \brief Measurement bookkeeping: BER counters with confidence intervals,
+///        running statistics, percentiles.
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace uwb::sim {
+
+/// Accumulates bit-error observations.
+class BerCounter {
+ public:
+  void add(std::size_t errors, std::size_t bits) noexcept {
+    errors_ += errors;
+    bits_ += bits;
+  }
+
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+
+  /// Point estimate (0 when no bits observed).
+  [[nodiscard]] double ber() const noexcept {
+    return bits_ == 0 ? 0.0 : static_cast<double>(errors_) / static_cast<double>(bits_);
+  }
+
+  /// Wilson-score interval half-width at ~95% confidence.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  void reset() noexcept {
+    errors_ = 0;
+    bits_ = 0;
+  }
+
+ private:
+  std::size_t errors_ = 0;
+  std::size_t bits_ = 0;
+};
+
+/// Streaming mean/variance/extremes (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) of a sample vector (copies + sorts).
+double percentile(RealVec values, double p);
+
+}  // namespace uwb::sim

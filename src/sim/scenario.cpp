@@ -1,0 +1,30 @@
+#include "sim/scenario.h"
+
+namespace uwb::sim {
+
+txrx::Gen1Config gen1_nominal() {
+  txrx::Gen1Config config;  // defaults are the paper numbers
+  return config;
+}
+
+txrx::Gen1Config gen1_fast() {
+  txrx::Gen1Config config;
+  config.preamble_repetitions = 1;
+  config.packet.preamble_repetitions = 1;
+  return config;
+}
+
+txrx::Gen2Config gen2_nominal() {
+  txrx::Gen2Config config;  // defaults are the paper numbers
+  return config;
+}
+
+txrx::Gen2Config gen2_fast() {
+  txrx::Gen2Config config;
+  config.packet.preamble_msequence_degree = 6;  // 63-symbol PN
+  config.packet.preamble_repetitions = 2;
+  config.chanest.max_delay_samples = 128;
+  return config;
+}
+
+}  // namespace uwb::sim

@@ -1,0 +1,24 @@
+#pragma once
+/// \file scenario.h
+/// \brief Canned configurations for examples, tests and benches: the
+///        paper-nominal gen-1 and gen-2 transceivers plus lighter variants
+///        for fast Monte-Carlo runs.
+
+#include "txrx/transceiver_config.h"
+
+namespace uwb::sim {
+
+/// Paper-nominal gen-1 configuration (Section 2 / Fig. 1).
+txrx::Gen1Config gen1_nominal();
+
+/// Gen-1 with a short preamble and small spreading factor -- faster
+/// Monte-Carlo while keeping every block in the signal path.
+txrx::Gen1Config gen1_fast();
+
+/// Paper-nominal gen-2 configuration (Section 3 / Fig. 3).
+txrx::Gen2Config gen2_nominal();
+
+/// Gen-2 with a shorter preamble for fast BER sweeps.
+txrx::Gen2Config gen2_fast();
+
+}  // namespace uwb::sim

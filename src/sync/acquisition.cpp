@@ -1,0 +1,96 @@
+#include "sync/acquisition.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/correlator.h"
+
+namespace uwb::sync {
+
+CoarseAcquisition::CoarseAcquisition(const AcquisitionConfig& config) : config_(config) {
+  detail::require(config.verify_passes >= 0, "CoarseAcquisition: verify passes must be >= 0");
+  detail::require(config.verify_threshold > 0.0 && config.verify_threshold < 1.0,
+                  "CoarseAcquisition: verify threshold must be in (0,1)");
+}
+
+namespace {
+
+/// Normalized correlation at one specific phase.
+template <typename Vec>
+double correlation_at(const Vec& x, const Vec& tmpl, std::size_t phase) {
+  if (phase + tmpl.size() > x.size()) return 0.0;
+  double tmpl_energy = 0.0;
+  double win_energy = 0.0;
+  double mag;
+  if constexpr (std::is_same_v<Vec, CplxVec>) {
+    cplx acc{};
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      acc += x[phase + i] * std::conj(tmpl[i]);
+      tmpl_energy += std::norm(tmpl[i]);
+      win_energy += std::norm(x[phase + i]);
+    }
+    mag = std::abs(acc);
+  } else {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      acc += x[phase + i] * tmpl[i];
+      tmpl_energy += tmpl[i] * tmpl[i];
+      win_energy += x[phase + i] * x[phase + i];
+    }
+    mag = std::abs(acc);
+  }
+  const double denom = std::sqrt(std::max(win_energy, 1e-300) * std::max(tmpl_energy, 1e-300));
+  return mag / denom;
+}
+
+}  // namespace
+
+template <typename Vec>
+AcquisitionResult CoarseAcquisition::acquire_impl(const Vec& x, const Vec& tmpl,
+                                                  std::size_t search_window, double fs) const {
+  detail::require(!tmpl.empty(), "CoarseAcquisition: empty template");
+  detail::require(fs > 0.0, "CoarseAcquisition: fs must be positive");
+
+  const double dwell_s = (config_.dwell_time_s > 0.0)
+                             ? config_.dwell_time_s
+                             : static_cast<double>(tmpl.size()) / fs;
+
+  AcquisitionResult result;
+  const CorrelatorBank bank(config_.bank);
+  const SearchResult sr = bank.search(x, tmpl, search_window);
+  result.dwells = sr.dwells;
+  result.metric = sr.best.metric;
+  result.timing_offset = sr.best.phase;
+
+  if (!sr.threshold_crossed) {
+    result.sync_time_s = static_cast<double>(sr.dwells) * dwell_s;
+    return result;  // acquisition failed within the window
+  }
+
+  // Verification: re-correlate at the candidate phase advanced by one PN
+  // period per pass (the following preamble repetitions must also match).
+  std::size_t confirmed = 0;
+  for (int pass = 1; pass <= config_.verify_passes; ++pass) {
+    const std::size_t phase = result.timing_offset + static_cast<std::size_t>(pass) * tmpl.size();
+    ++result.verify_dwells;
+    if (correlation_at(x, tmpl, phase) >= config_.verify_threshold) {
+      ++confirmed;
+    }
+  }
+  result.acquired = (confirmed == static_cast<std::size_t>(config_.verify_passes));
+  result.sync_time_s =
+      static_cast<double>(result.dwells + result.verify_dwells) * dwell_s;
+  return result;
+}
+
+AcquisitionResult CoarseAcquisition::acquire(const CplxVec& x, const CplxVec& tmpl,
+                                             std::size_t search_window, double fs) const {
+  return acquire_impl(x, tmpl, search_window, fs);
+}
+
+AcquisitionResult CoarseAcquisition::acquire(const RealVec& x, const RealVec& tmpl,
+                                             std::size_t search_window, double fs) const {
+  return acquire_impl(x, tmpl, search_window, fs);
+}
+
+}  // namespace uwb::sync

@@ -1,0 +1,67 @@
+#include "sync/correlator_bank.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/correlator.h"
+
+namespace uwb::sync {
+
+CorrelatorBank::CorrelatorBank(CorrelatorBankConfig config) : config_(config) {
+  detail::require(config.parallelism >= 1, "CorrelatorBank: parallelism must be >= 1");
+  detail::require(config.threshold > 0.0 && config.threshold < 1.0,
+                  "CorrelatorBank: threshold must be in (0,1)");
+}
+
+namespace {
+
+/// Shared search core over a precomputed normalized-correlation array.
+SearchResult run_search(const RealVec& norm_corr, std::size_t max_phase,
+                        const CorrelatorBankConfig& cfg, bool early_exit) {
+  SearchResult result;
+  const std::size_t limit = std::min(max_phase + 1, norm_corr.size());
+  std::size_t phase = 0;
+  while (phase < limit) {
+    const std::size_t dwell_end = std::min(phase + cfg.parallelism, limit);
+    ++result.dwells;
+    for (; phase < dwell_end; ++phase) {
+      ++result.phases_evaluated;
+      const double m = std::abs(norm_corr[phase]);
+      if (m > result.best.metric) {
+        result.best.metric = m;
+        result.best.phase = phase;
+      }
+    }
+    if (early_exit && result.best.metric >= cfg.threshold) {
+      result.threshold_crossed = true;
+      return result;
+    }
+  }
+  result.threshold_crossed = result.best.metric >= cfg.threshold;
+  return result;
+}
+
+}  // namespace
+
+SearchResult CorrelatorBank::search(const CplxVec& x, const CplxVec& tmpl,
+                                    std::size_t max_phase) const {
+  const RealVec nc = dsp::normalized_correlation(x, tmpl);
+  detail::require(!nc.empty(), "CorrelatorBank::search: signal shorter than template");
+  return run_search(nc, max_phase, config_, /*early_exit=*/true);
+}
+
+SearchResult CorrelatorBank::search(const RealVec& x, const RealVec& tmpl,
+                                    std::size_t max_phase) const {
+  const RealVec nc = dsp::normalized_correlation(x, tmpl);
+  detail::require(!nc.empty(), "CorrelatorBank::search: signal shorter than template");
+  return run_search(nc, max_phase, config_, /*early_exit=*/true);
+}
+
+SearchResult CorrelatorBank::search_exhaustive(const CplxVec& x, const CplxVec& tmpl,
+                                               std::size_t max_phase) const {
+  const RealVec nc = dsp::normalized_correlation(x, tmpl);
+  detail::require(!nc.empty(), "CorrelatorBank::search_exhaustive: signal too short");
+  return run_search(nc, max_phase, config_, /*early_exit=*/false);
+}
+
+}  // namespace uwb::sync

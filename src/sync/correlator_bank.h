@@ -1,0 +1,63 @@
+#pragma once
+/// \file correlator_bank.h
+/// \brief The parallel correlator bank of the paper's digital back end
+///        (Fig. 1: "Parallelizer" + "Correlators"). A bank of P correlators
+///        evaluates P candidate code phases per dwell; hardware parallelism
+///        divides search time, which is exactly the mechanism behind the
+///        gen-1 "packet synchronization in less than 70 us" claim.
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace uwb::sync {
+
+/// Result of evaluating one candidate phase.
+struct PhaseMetric {
+  std::size_t phase = 0;   ///< candidate offset in samples
+  double metric = 0.0;     ///< normalized correlation magnitude [0,1]
+};
+
+/// Search outcome over a phase window.
+struct SearchResult {
+  PhaseMetric best{};
+  std::size_t phases_evaluated = 0;
+  std::size_t dwells = 0;       ///< sequential dwell count = ceil(phases / parallelism)
+  bool threshold_crossed = false;
+};
+
+/// Bank configuration.
+struct CorrelatorBankConfig {
+  std::size_t parallelism = 4;     ///< correlators evaluated per dwell
+  double threshold = 0.6;          ///< normalized-correlation detect threshold
+};
+
+/// Evaluates candidate phases of a known template against the received
+/// signal, \p parallelism at a time, stopping at the first dwell whose best
+/// phase crosses the threshold (serial-search early termination).
+class CorrelatorBank {
+ public:
+  explicit CorrelatorBank(CorrelatorBankConfig config);
+
+  [[nodiscard]] const CorrelatorBankConfig& config() const noexcept { return config_; }
+
+  /// Serial search with early termination. Phases are tried in order
+  /// 0..max_phase; each dwell evaluates \p parallelism consecutive phases
+  /// of normalized correlation between x[phase ... phase+|tmpl|) and tmpl.
+  [[nodiscard]] SearchResult search(const CplxVec& x, const CplxVec& tmpl,
+                                    std::size_t max_phase) const;
+
+  /// Real-signal version (gen-1 baseband receiver).
+  [[nodiscard]] SearchResult search(const RealVec& x, const RealVec& tmpl,
+                                    std::size_t max_phase) const;
+
+  /// Exhaustive variant: evaluates every phase and returns the global best
+  /// (no early exit). Used by channel estimation to find the strongest path.
+  [[nodiscard]] SearchResult search_exhaustive(const CplxVec& x, const CplxVec& tmpl,
+                                               std::size_t max_phase) const;
+
+ private:
+  CorrelatorBankConfig config_;
+};
+
+}  // namespace uwb::sync

@@ -1,0 +1,53 @@
+#include "sync/tracking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/correlator.h"
+
+namespace uwb::sync {
+
+DelayLockedLoop::DelayLockedLoop(const DllConfig& config) : config_(config) {
+  detail::require(config.gain > 0.0, "DelayLockedLoop: gain must be positive");
+  detail::require(config.early_late_gap >= 1, "DelayLockedLoop: gap must be >= 1");
+  detail::require(config.max_correction > 0.0, "DelayLockedLoop: max correction must be > 0");
+}
+
+namespace {
+
+double energy_at(const CplxVec& x, const CplxVec& tmpl, std::ptrdiff_t phase) {
+  if (phase < 0) return 0.0;
+  const auto p = static_cast<std::size_t>(phase);
+  if (p + tmpl.size() > x.size()) return 0.0;
+  return std::norm(dsp::dot_conj(x.data() + p, tmpl.data(), tmpl.size()));
+}
+
+}  // namespace
+
+DllUpdate DelayLockedLoop::update(const CplxVec& x, const CplxVec& tmpl, std::size_t phase) {
+  const auto gap = static_cast<std::ptrdiff_t>(config_.early_late_gap);
+  const auto punctual = static_cast<std::ptrdiff_t>(corrected_phase(phase));
+
+  const double e_early = energy_at(x, tmpl, punctual - gap);
+  const double e_late = energy_at(x, tmpl, punctual + gap);
+  const double e_punct = energy_at(x, tmpl, punctual);
+
+  DllUpdate upd;
+  const double denom = e_early + e_late + e_punct;
+  if (denom > 1e-300) {
+    // Positive error -> late gate stronger -> shift timing later.
+    upd.error = (e_late - e_early) / denom;
+    correction_ += config_.gain * upd.error * static_cast<double>(config_.early_late_gap);
+    correction_ = std::clamp(correction_, -config_.max_correction, config_.max_correction);
+  }
+  upd.correction = correction_;
+  return upd;
+}
+
+std::size_t DelayLockedLoop::corrected_phase(std::size_t coarse_phase) const noexcept {
+  const double corrected = static_cast<double>(coarse_phase) + correction_;
+  return corrected <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(corrected));
+}
+
+}  // namespace uwb::sync

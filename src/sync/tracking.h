@@ -1,0 +1,53 @@
+#pragma once
+/// \file tracking.h
+/// \brief Fine timing tracking ("Fine Tracking Subsystem" / "PLL/DLL" of the
+///        paper's block diagrams): an early-late gate delay-locked loop that
+///        refines the coarse phase and follows slow clock drift.
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace uwb::sync {
+
+/// DLL configuration.
+struct DllConfig {
+  double gain = 0.1;             ///< loop gain (samples of correction per update)
+  std::size_t early_late_gap = 1;  ///< +/- offset of the early/late gates [samples]
+  double max_correction = 4.0;   ///< clamp on accumulated correction [samples]
+};
+
+/// One tracking update's observables.
+struct DllUpdate {
+  double error = 0.0;        ///< early-late discriminator output
+  double correction = 0.0;   ///< accumulated fractional-sample correction
+};
+
+/// Early-late gate DLL. Each update correlates the template at the punctual
+/// phase and +/- gap samples; the normalized energy difference steers the
+/// accumulated timing correction.
+class DelayLockedLoop {
+ public:
+  explicit DelayLockedLoop(const DllConfig& config);
+
+  [[nodiscard]] const DllConfig& config() const noexcept { return config_; }
+
+  /// Processes one symbol/preamble-period worth of samples. \p x must cover
+  /// [phase - gap, phase + gap + |tmpl|). Returns the update; the running
+  /// correction is available via correction().
+  DllUpdate update(const CplxVec& x, const CplxVec& tmpl, std::size_t phase);
+
+  /// Current accumulated correction in (fractional) samples.
+  [[nodiscard]] double correction() const noexcept { return correction_; }
+
+  /// Punctual phase after correction (rounded to nearest sample).
+  [[nodiscard]] std::size_t corrected_phase(std::size_t coarse_phase) const noexcept;
+
+  void reset() noexcept { correction_ = 0.0; }
+
+ private:
+  DllConfig config_;
+  double correction_ = 0.0;
+};
+
+}  // namespace uwb::sync

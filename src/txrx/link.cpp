@@ -1,0 +1,201 @@
+#include "txrx/link.h"
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "channel/interferer.h"
+#include "common/error.h"
+#include "fec/viterbi_decoder.h"
+
+namespace uwb::txrx {
+
+// ---------------------------------------------------------------- Gen-2 ----
+
+Gen2Link::Gen2Link(const Gen2Config& config, uint64_t seed)
+    : config_(config), rng_(seed), tx_(config), rx_(config, rng_) {}
+
+Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
+  Gen2TrialResult trial;
+
+  // Transmit. With an outer code the on-air payload is the codeword.
+  const BitVec info = rng_.bits(options.payload_bits);
+  BitVec payload = info;
+  if (options.fec.has_value()) {
+    detail::require(config_.modulation == phy::Modulation::kBpsk,
+                    "Gen2Link: coded mode requires BPSK");
+    payload = fec::ConvEncoder(*options.fec).encode(info);
+  }
+  auto [wave, frame] = tx_.transmit(payload);
+
+  // Random start delay (what acquisition must find).
+  std::size_t delay = 0;
+  if (options.start_delay_max_samples > 0) {
+    delay = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_samples)));
+    wave.delay_samples(delay);
+  }
+
+  // Multipath.
+  CplxWaveform rx_wave = std::move(wave);
+  if (options.cm >= 1) {
+    const channel::SalehValenzuela sv(channel::cm_by_index(options.cm));
+    trial.true_channel = sv.realize(rng_);
+    rx_wave = trial.true_channel.apply(rx_wave);
+  } else {
+    trial.true_channel = channel::identity_cir();
+  }
+  // Tail pad so late fingers stay in range.
+  rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
+
+  // Interference.
+  const double signal_power = rx_wave.power();
+  if (options.interferer) {
+    channel::add_cw_interferer(rx_wave, options.interferer_freq_hz, signal_power,
+                               options.interferer_sir_db, rng_);
+  }
+
+  // AWGN at the requested Eb/N0.
+  const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
+  channel::add_awgn(rx_wave, n0, rng_);
+
+  // Receive. Coded trials bypass the MLSE hard path so the decoder gets
+  // the RAKE's soft stream.
+  Gen2RxOptions rx_opts;
+  rx_opts.genie_timing = options.genie_timing;
+  rx_opts.genie_offset = 0;  // estimator searches its window regardless
+  rx_opts.run_spectral_monitor = options.run_spectral_monitor;
+  rx_opts.auto_notch = options.auto_notch;
+  rx_opts.noise_variance = n0;
+  if (options.fec.has_value()) {
+    const bool saved_mlse = config_.use_mlse;
+    rx_.mutable_config().use_mlse = false;
+    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+    rx_.mutable_config().use_mlse = saved_mlse;
+  } else {
+    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+  }
+
+  trial.bits = trial.rx.bits_compared;
+  trial.errors = trial.rx.bit_errors;
+
+  if (options.fec.has_value() && trial.rx.acquired) {
+    // Soft-decision Viterbi decoding of the codeword (payload section of
+    // the soft stream; the CRC-32 tail bits are not part of the codeword).
+    const std::size_t codeword_bits = payload.size();
+    if (trial.rx.payload_soft.size() >= codeword_bits) {
+      std::vector<double> llr(trial.rx.payload_soft.begin(),
+                              trial.rx.payload_soft.begin() +
+                                  static_cast<std::ptrdiff_t>(codeword_bits));
+      const fec::ViterbiDecoder decoder(*options.fec);
+      const BitVec decoded = decoder.decode_soft(llr);
+      std::size_t errors = 0;
+      const std::size_t n = std::min(decoded.size(), info.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((decoded[i] != 0) != (info[i] != 0)) ++errors;
+      }
+      trial.bits = info.size();
+      trial.errors = errors + (info.size() - n);
+    }
+  }
+
+  if (!trial.rx.acquired) {
+    // A lost packet counts every bit as errored (PER-style accounting).
+    trial.bits = options.fec.has_value() ? info.size() : frame.body_bits;
+    trial.errors = trial.bits;
+  }
+  return trial;
+}
+
+// ---------------------------------------------------------------- Gen-1 ----
+
+Gen1Link::Gen1Link(const Gen1Config& config, uint64_t seed)
+    : config_(config), rng_(seed), tx_(config), rx_(config, rng_) {}
+
+namespace {
+
+RealWaveform apply_gen1_channel(RealWaveform wave, int cm, channel::Cir* out_cir, Rng& rng) {
+  if (cm >= 1) {
+    channel::SvParams params = channel::cm_by_index(cm);
+    params.complex_phases = false;  // real +/- polarity taps for passband
+    const channel::SalehValenzuela sv(params);
+    const channel::Cir cir = sv.realize(rng);
+    if (out_cir != nullptr) *out_cir = cir;
+    return cir.apply_real(wave);
+  }
+  if (out_cir != nullptr) *out_cir = channel::identity_cir();
+  return wave;
+}
+
+}  // namespace
+
+Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options) {
+  Gen1TrialResult trial;
+
+  const BitVec payload = rng_.bits(options.payload_bits);
+  auto [wave, frame] = tx_.transmit(payload);
+
+  std::size_t delay_frames = 0;
+  if (options.start_delay_max_frames > 0) {
+    delay_frames = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
+    wave.delay_samples(delay_frames * config_.frame_samples_analog());
+  }
+  trial.true_offset_adc = delay_frames * config_.frame_samples_adc;
+
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng_);
+  rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
+
+  const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
+  channel::add_awgn(rx_wave, n0, rng_);
+
+  Gen1RxOptions rx_opts;
+  rx_opts.genie_timing = options.genie_timing;
+  rx_opts.genie_offset = trial.true_offset_adc;
+  trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+  trial.bits = trial.rx.bits_compared;
+  trial.errors = trial.rx.bit_errors;
+  if (!options.genie_timing && !trial.rx.acq.acquired) {
+    trial.bits = frame.frame_bits.size();
+    trial.errors = frame.frame_bits.size();
+  }
+  return trial;
+}
+
+Gen1Link::AcqTrial Gen1Link::run_acquisition(const Gen1LinkOptions& options,
+                                             std::size_t tol_samples) {
+  AcqTrial out;
+
+  const BitVec payload = rng_.bits(options.payload_bits);
+  auto [wave, frame] = tx_.transmit(payload);
+
+  std::size_t delay_frames = 0;
+  if (options.start_delay_max_frames > 0) {
+    delay_frames = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
+    wave.delay_samples(delay_frames * config_.frame_samples_analog());
+  }
+  const std::size_t true_offset = delay_frames * config_.frame_samples_adc;
+
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng_);
+  rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
+
+  const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
+  channel::add_awgn(rx_wave, n0, rng_);
+
+  out.acq = rx_.acquire(rx_wave, tx_, rng_);
+  out.true_offset_adc = true_offset;
+
+  // Compare timing modulo one PN period (the residual ambiguity the SFD
+  // search resolves at frame level).
+  const std::size_t period_samples =
+      tx_.preamble_chips().size() * config_.frame_samples_adc;
+  const auto diff = static_cast<std::ptrdiff_t>(out.acq.timing_offset % period_samples) -
+                    static_cast<std::ptrdiff_t>(true_offset % period_samples);
+  const std::size_t abs_diff =
+      static_cast<std::size_t>(diff < 0 ? -diff : diff) % period_samples;
+  const std::size_t wrapped = std::min(abs_diff, period_samples - abs_diff);
+  out.timing_correct = out.acq.acquired && wrapped <= tol_samples;
+  return out;
+}
+
+}  // namespace uwb::txrx

@@ -1,0 +1,120 @@
+#pragma once
+/// \file link.h
+/// \brief End-to-end link simulation: transmitter -> channel (multipath /
+///        interferer / AWGN) -> receiver, with per-packet trial results.
+///        Every BER/acquisition bench drives one of these runners.
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/saleh_valenzuela.h"
+#include "common/rng.h"
+#include "fec/convolutional.h"
+#include "txrx/receiver_gen1.h"
+#include "txrx/receiver_gen2.h"
+#include "txrx/transceiver_config.h"
+#include "txrx/transmitter.h"
+
+namespace uwb::txrx {
+
+/// Channel/impairment options for one gen-2 packet trial.
+struct Gen2LinkOptions {
+  int cm = 0;                     ///< 0 = AWGN only, 1..4 = 802.15.3a CM1..CM4
+  double ebn0_db = 10.0;
+  std::size_t payload_bits = 200;
+
+  bool interferer = false;
+  double interferer_sir_db = 0.0;     ///< signal-to-interference ratio
+  double interferer_freq_hz = 80e6;   ///< baseband offset of the CW tone
+
+  bool auto_notch = false;            ///< spectral monitor drives the notch
+  bool run_spectral_monitor = true;
+  bool genie_timing = false;
+  std::size_t start_delay_max_samples = 32;  ///< random TX start (analog rate)
+
+  /// Outer convolutional code. When set, the payload is encoded before
+  /// transmission and soft-Viterbi decoded from the RAKE soft outputs
+  /// (requires BPSK and disables the MLSE hard path for the trial). Note
+  /// that energy accounting stays per *coded* bit: at equal options.ebn0_db
+  /// a rate-1/2 coded trial spends 3 dB more energy per information bit.
+  std::optional<fec::ConvCode> fec;
+};
+
+/// One packet's outcome.
+struct Gen2TrialResult {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  Gen2RxResult rx;
+  channel::Cir true_channel;
+};
+
+/// Reusable gen-2 link (receiver mismatch drawn once at construction).
+class Gen2Link {
+ public:
+  Gen2Link(const Gen2Config& config, uint64_t seed);
+
+  [[nodiscard]] const Gen2Config& config() const noexcept { return config_; }
+  [[nodiscard]] Gen2Transmitter& transmitter() noexcept { return tx_; }
+  [[nodiscard]] Gen2Receiver& receiver() noexcept { return rx_; }
+
+  /// Runs one packet; rng state advances (independent trials).
+  [[nodiscard]] Gen2TrialResult run_packet(const Gen2LinkOptions& options);
+
+  /// Direct access to the trial RNG (benches print the seed).
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Gen2Config config_;
+  Rng rng_;
+  Gen2Transmitter tx_;
+  Gen2Receiver rx_;
+};
+
+/// Channel/impairment options for one gen-1 packet trial.
+struct Gen1LinkOptions {
+  double ebn0_db = 10.0;
+  std::size_t payload_bits = 32;
+  bool genie_timing = true;   ///< BER runs use genie; acquisition runs don't
+  int cm = 0;                 ///< 0 = AWGN, 1..4 = CM (real-polarity variant)
+  std::size_t start_delay_max_frames = 64;  ///< random TX start in frames
+};
+
+/// One gen-1 packet's outcome.
+struct Gen1TrialResult {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  Gen1RxResult rx;
+  std::size_t true_offset_adc = 0;  ///< actual preamble start at ADC rate
+};
+
+/// Reusable gen-1 link.
+class Gen1Link {
+ public:
+  Gen1Link(const Gen1Config& config, uint64_t seed);
+
+  [[nodiscard]] const Gen1Config& config() const noexcept { return config_; }
+  [[nodiscard]] Gen1Transmitter& transmitter() noexcept { return tx_; }
+  [[nodiscard]] Gen1Receiver& receiver() noexcept { return rx_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] Gen1TrialResult run_packet(const Gen1LinkOptions& options);
+
+  /// Acquisition-only trial: returns the acquisition result plus whether
+  /// the found timing matches the true one (within +/- tol samples, modulo
+  /// one PN period).
+  struct AcqTrial {
+    Gen1AcqResult acq;
+    bool timing_correct = false;
+    std::size_t true_offset_adc = 0;
+  };
+  [[nodiscard]] AcqTrial run_acquisition(const Gen1LinkOptions& options,
+                                         std::size_t tol_samples = 2);
+
+ private:
+  Gen1Config config_;
+  Rng rng_;
+  Gen1Transmitter tx_;
+  Gen1Receiver rx_;
+};
+
+}  // namespace uwb::txrx

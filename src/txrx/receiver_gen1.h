@@ -1,0 +1,85 @@
+#pragma once
+/// \file receiver_gen1.h
+/// \brief The generation-1 receiver of Fig. 1: no downconverter, 4-way
+///        time-interleaved flash ADC at 2 GSps, and a fully-digital back end
+///        whose parallel correlators perform coarse acquisition, fine
+///        timing and despreading.
+///
+/// Two-stage coarse acquisition (the "< 70 us" machinery):
+///   Stage 1 -- pulse phase: noncoherent combining of |matched filter| over
+///     acq_integration_frames frames for each of the frame_samples_adc
+///     candidate sample phases, acq_parallelism_stage1 at a time.
+///   Stage 2 -- code phase: one PN period (127 frames = 41.1 us) of
+///     per-frame samples correlated against all cyclic shifts of the PN,
+///     acq_parallelism_stage2 shifts at a time.
+/// Modeled sync time = dwells1 * K1 * Tf + dwells2 * 127 * Tf, the real-time
+/// cost of a streaming architecture with that much correlator hardware.
+
+#include "adc/flash_adc.h"
+#include "adc/sampling.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/waveform.h"
+#include "txrx/transceiver_config.h"
+#include "txrx/transmitter.h"
+
+namespace uwb::txrx {
+
+/// Gen-1 acquisition diagnostics.
+struct Gen1AcqResult {
+  bool acquired = false;
+  std::size_t pulse_phase = 0;    ///< sample phase within a frame (stage 1)
+  std::size_t code_phase = 0;     ///< PN chip shift (stage 2)
+  std::size_t timing_offset = 0;  ///< preamble start sample at the ADC rate
+  double stage2_metric = 0.0;     ///< normalized code correlation
+  double sync_time_s = 0.0;       ///< modeled elapsed acquisition time
+};
+
+/// Per-packet receive result.
+struct Gen1RxResult {
+  Gen1AcqResult acq;
+  BitVec data_bits;             ///< decoded data-section bits
+  std::size_t bit_errors = 0;
+  std::size_t bits_compared = 0;
+};
+
+/// Receiver options per run.
+struct Gen1RxOptions {
+  bool genie_timing = false;    ///< skip acquisition, use genie_offset
+  std::size_t genie_offset = 0; ///< known preamble start at the ADC rate
+};
+
+/// The gen-1 receiver.
+class Gen1Receiver {
+ public:
+  /// \p rng draws the converter's static mismatch once (comparator offsets,
+  /// lane gain/offset/skew).
+  Gen1Receiver(const Gen1Config& config, Rng& rng);
+
+  [[nodiscard]] const Gen1Config& config() const noexcept { return config_; }
+
+  /// Full receive: sample, convert, matched-filter, acquire, despread.
+  [[nodiscard]] Gen1RxResult receive(const RealWaveform& rx, const Gen1Transmitter& tx,
+                                     const TxFrame& tx_reference,
+                                     const Gen1RxOptions& options, Rng& rng);
+
+  /// Acquisition only (bench E2/E11): processes a capture containing at
+  /// least one PN period past the search uncertainty.
+  [[nodiscard]] Gen1AcqResult acquire(const RealWaveform& rx, const Gen1Transmitter& tx,
+                                      Rng& rng);
+
+ private:
+  /// Analog band-limiting + sampling + interleaved conversion + matched
+  /// filtering.
+  [[nodiscard]] RealVec digitize_and_filter(const RealWaveform& rx,
+                                            const Gen1Transmitter& tx, Rng& rng);
+
+  [[nodiscard]] Gen1AcqResult acquire_on_mf(const RealVec& mf, const Gen1Transmitter& tx) const;
+
+  Gen1Config config_;
+  adc::SampleAndHold sampler_;
+  adc::TimeInterleavedAdc adc_;
+  RealVec anti_alias_taps_;
+};
+
+}  // namespace uwb::txrx

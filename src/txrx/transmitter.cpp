@@ -1,0 +1,185 @@
+#include "txrx/transmitter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/resampler.h"
+#include "phy/scrambler.h"
+#include "pulse/pulse_train.h"
+#include "rf/mixer.h"
+
+namespace uwb::txrx {
+
+// ---------------------------------------------------------------- Gen-1 ----
+
+Gen1Transmitter::Gen1Transmitter(const Gen1Config& config)
+    : config_(config),
+      pulse_(pulse::gaussian_monocycle(config.pulse_sigma_s, config.analog_fs)),
+      framer_(config.packet) {
+  detail::require(config.pulses_per_bit >= 1, "Gen1Transmitter: pulses_per_bit must be >= 1");
+  detail::require(config.preamble_repetitions >= 1,
+                  "Gen1Transmitter: preamble repetitions must be >= 1");
+  // Spreading chips: one maximal-length sequence cycled across the pulses
+  // of each bit (polarity randomization smooths the spectrum and provides
+  // processing gain against tones).
+  spread_ = phy::to_chips(phy::msequence(config.spread_msequence_degree));
+  pn_chips_ = phy::to_chips(phy::msequence(config.preamble_pn_degree));
+}
+
+std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload) const {
+  const phy::FramedPacket pkt = framer_.frame(payload);
+
+  // Data section = SFD + header + payload(+CRC), each bit spread over
+  // pulses_per_bit polarity-scrambled pulses.
+  BitVec data_bits = pkt.sfd;
+  data_bits.insert(data_bits.end(), pkt.header.begin(), pkt.header.end());
+  data_bits.insert(data_bits.end(), pkt.payload.begin(), pkt.payload.end());
+
+  // Slot list: pulse-level PN preamble first, then the spread data bits.
+  std::vector<pulse::PulseSlot> slots;
+  slots.reserve(preamble_frames() +
+                data_bits.size() * static_cast<std::size_t>(config_.pulses_per_bit));
+  for (int rep = 0; rep < config_.preamble_repetitions; ++rep) {
+    for (double chip : pn_chips_) {
+      slots.push_back(pulse::PulseSlot{chip, 0.0});
+    }
+  }
+  for (auto b : data_bits) {
+    const double w = b ? -1.0 : 1.0;
+    for (int k = 0; k < config_.pulses_per_bit; ++k) {
+      slots.push_back(
+          pulse::PulseSlot{w * spread_[static_cast<std::size_t>(k) % spread_.size()], 0.0});
+    }
+  }
+
+  pulse::PulseTrainSpec spec;
+  spec.prf_hz = config_.prf_hz();
+  spec.pulses_per_bit = config_.pulses_per_bit;
+  spec.sample_rate_hz = config_.analog_fs;
+  RealWaveform wave = pulse::build_train(pulse_, slots, spec);
+
+  TxFrame frame;
+  frame.payload = payload;
+  frame.frame_bits = data_bits;
+  frame.preamble_bits = preamble_frames();
+  frame.sfd_bits = pkt.sfd.size();
+  frame.samples_per_bit =
+      config_.frame_samples_analog() * static_cast<std::size_t>(config_.pulses_per_bit);
+  // Data-section energy per bit (what Eb/N0 sweeps calibrate against).
+  frame.energy_per_bit =
+      pulse_.total_energy() * static_cast<double>(config_.pulses_per_bit);
+  frame.overhead_symbols = pkt.sfd.size() + pkt.header.size();
+  frame.payload_symbols = pkt.payload.size();
+  frame.body_bits = pkt.payload.size();
+  return {std::move(wave), std::move(frame)};
+}
+
+RealVec Gen1Transmitter::pulse_taps_adc() const {
+  return pulse::gaussian_monocycle(config_.pulse_sigma_s, config_.adc_rate).samples();
+}
+
+// ---------------------------------------------------------------- Gen-2 ----
+
+Gen2Transmitter::Gen2Transmitter(const Gen2Config& config)
+    : config_(config), pulse_(pulse::make_pulse(config.pulse)), framer_(config.packet) {
+  detail::require(config.pulse.sample_rate_hz == config.analog_fs,
+                  "Gen2Transmitter: pulse spec must be generated at analog_fs");
+}
+
+std::pair<CplxWaveform, TxFrame> Gen2Transmitter::transmit(const BitVec& payload) const {
+  const phy::FramedPacket pkt = framer_.frame(payload);
+
+  // Preamble + SFD + header always ride BPSK (acquisition needs antipodal
+  // correlation); the payload uses the configured modulation.
+  const std::size_t overhead_bits =
+      pkt.preamble.size() + pkt.sfd.size() + pkt.header.size();
+  const auto bpsk = phy::make_modulator(phy::Modulation::kBpsk, config_.prf_hz);
+  const auto payload_mod = phy::make_modulator(config_.modulation, config_.prf_hz);
+
+  BitVec overhead(pkt.all.begin(), pkt.all.begin() + static_cast<std::ptrdiff_t>(overhead_bits));
+  BitVec body(pkt.all.begin() + static_cast<std::ptrdiff_t>(overhead_bits), pkt.all.end());
+  // Pad the body to a whole number of symbols if needed (4-PAM).
+  while (body.size() % static_cast<std::size_t>(payload_mod->bits_per_symbol()) != 0) {
+    body.push_back(0);
+  }
+
+  const phy::SymbolMapping head_map = bpsk->map(overhead);
+  const phy::SymbolMapping body_map = payload_mod->map(body);
+
+  std::vector<double> weights = head_map.weights;
+  weights.insert(weights.end(), body_map.weights.begin(), body_map.weights.end());
+  std::vector<double> offsets(head_map.weights.size(), 0.0);
+  if (!body_map.time_offsets_s.empty()) {
+    offsets.insert(offsets.end(), body_map.time_offsets_s.begin(),
+                   body_map.time_offsets_s.end());
+  } else {
+    offsets.insert(offsets.end(), body_map.weights.size(), 0.0);
+  }
+
+  const auto slots = pulse::slots_from_weights(weights, offsets, 1);
+  pulse::PulseTrainSpec spec;
+  spec.prf_hz = config_.prf_hz;
+  spec.pulses_per_bit = 1;
+  spec.sample_rate_hz = config_.analog_fs;
+  CplxWaveform wave = pulse::build_train_cplx(pulse_, slots, spec);
+
+  TxFrame frame;
+  frame.payload = payload;
+  frame.frame_bits = pkt.all;
+  frame.preamble_bits = pkt.preamble.size();
+  frame.sfd_bits = pkt.sfd.size();
+  frame.samples_per_bit = config_.samples_per_bit_analog();
+  // Eb over info-carrying symbols: total energy / on-air bits (overhead
+  // counted -- it is transmitted energy).
+  frame.energy_per_bit =
+      wave.total_energy() / static_cast<double>(overhead_bits + body.size());
+  frame.overhead_symbols = head_map.weights.size();
+  frame.payload_symbols = body_map.weights.size();
+  frame.body_bits = pkt.payload.size();
+  return {std::move(wave), std::move(frame)};
+}
+
+RealWaveform Gen2Transmitter::transmit_passband(const CplxWaveform& baseband,
+                                                double rf_fs) const {
+  const pulse::BandPlan plan;
+  const double fc = plan.center_frequency(config_.channel_index);
+  detail::require(rf_fs > 2.0 * (fc + config_.pulse.bandwidth_hz),
+                  "transmit_passband: rf_fs too low for the selected channel");
+  // Interpolate baseband to the RF rate, then quadrature-upconvert.
+  const auto factor = static_cast<int>(std::llround(rf_fs / baseband.sample_rate()));
+  detail::require(std::abs(rf_fs - factor * baseband.sample_rate()) < 1.0,
+                  "transmit_passband: rf_fs must be an integer multiple of analog_fs");
+  CplxWaveform up = baseband;
+  if (factor > 1) {
+    up = dsp::upsample(baseband, factor, 95);
+  }
+  const rf::Upconverter upc(fc, rf_fs, config_.front_end.iq);
+  return upc.process(up);
+}
+
+CplxVec Gen2Transmitter::preamble_template_adc() const {
+  // Clean preamble waveform, regenerated at the ADC rate.
+  const auto sps = static_cast<std::size_t>(config_.adc_rate / config_.prf_hz);
+  pulse::PulseSpec pspec = config_.pulse;
+  pspec.sample_rate_hz = config_.adc_rate;
+  const RealWaveform pulse_adc = pulse::make_pulse(pspec);
+
+  const BitVec& pre = framer_.preamble_bits();
+  CplxVec tmpl(sps * pre.size() + pulse_adc.size(), cplx{});
+  for (std::size_t m = 0; m < pre.size(); ++m) {
+    const double w = pre[m] ? -1.0 : 1.0;
+    const std::size_t base = m * sps;
+    for (std::size_t i = 0; i < pulse_adc.size(); ++i) {
+      tmpl[base + i] += w * pulse_adc[i];
+    }
+  }
+  return tmpl;
+}
+
+RealVec Gen2Transmitter::pulse_taps_adc() const {
+  pulse::PulseSpec pspec = config_.pulse;
+  pspec.sample_rate_hz = config_.adc_rate;
+  return pulse::make_pulse(pspec).samples();
+}
+
+}  // namespace uwb::txrx

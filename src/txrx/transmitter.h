@@ -1,0 +1,104 @@
+#pragma once
+/// \file transmitter.h
+/// \brief Transmitters of both generations: packet bits to radiated
+///        waveform (real baseband for gen-1, complex baseband -- optionally
+///        upconverted to real passband -- for gen-2).
+
+#include "common/types.h"
+#include "common/waveform.h"
+#include "phy/packet.h"
+#include "txrx/transceiver_config.h"
+
+namespace uwb::txrx {
+
+/// What the transmitter put on the air, with bookkeeping the test/benches
+/// (and genie-timing receivers) use.
+struct TxFrame {
+  BitVec payload;            ///< info bits carried
+  BitVec frame_bits;         ///< full on-air bit sequence (preamble..payload)
+  std::size_t preamble_bits = 0;
+  std::size_t sfd_bits = 0;
+  double energy_per_bit = 0.0;     ///< discrete Eb of the clean waveform
+  std::size_t samples_per_bit = 0; ///< at the generated rate
+
+  // Symbol-level layout (gen-2; overhead is always BPSK, the payload body
+  // may use a multi-bit-per-symbol scheme).
+  std::size_t overhead_symbols = 0;  ///< preamble + SFD + header symbols
+  std::size_t payload_symbols = 0;   ///< body symbols (incl. CRC, pad)
+  std::size_t body_bits = 0;         ///< payload + CRC bits (excl. pad)
+};
+
+/// Generation-1 baseband transmitter: pulse-level PN preamble followed by a
+/// PN-spread data section (see Gen1Config's preamble note).
+class Gen1Transmitter {
+ public:
+  explicit Gen1Transmitter(const Gen1Config& config);
+
+  [[nodiscard]] const Gen1Config& config() const noexcept { return config_; }
+
+  /// Frames \p payload and synthesizes the baseband waveform at analog_fs.
+  /// For gen-1, TxFrame::frame_bits holds the *data-section* bits only
+  /// (SFD + header + payload + CRC); TxFrame::preamble_bits counts the
+  /// pulse-level preamble chips.
+  [[nodiscard]] std::pair<RealWaveform, TxFrame> transmit(const BitVec& payload) const;
+
+  /// The spreading chip sequence (+/-1) applied across the pulses of a bit.
+  [[nodiscard]] const std::vector<double>& spread_chips() const noexcept { return spread_; }
+
+  /// One period of the pulse-level preamble PN, as +/-1 chips.
+  [[nodiscard]] const std::vector<double>& preamble_chips() const noexcept { return pn_chips_; }
+
+  /// Total preamble length in frames (chips x repetitions).
+  [[nodiscard]] std::size_t preamble_frames() const noexcept {
+    return pn_chips_.size() * static_cast<std::size_t>(config_.preamble_repetitions);
+  }
+
+  /// The monocycle prototype at analog_fs.
+  [[nodiscard]] const RealWaveform& prototype() const noexcept { return pulse_; }
+
+  /// The monocycle prototype regenerated at the ADC rate (matched filter).
+  [[nodiscard]] RealVec pulse_taps_adc() const;
+
+ private:
+  Gen1Config config_;
+  RealWaveform pulse_;
+  std::vector<double> spread_;
+  std::vector<double> pn_chips_;
+  phy::PacketFramer framer_;
+};
+
+/// Generation-2 transmitter: modulated RRC pulse trains at complex baseband.
+class Gen2Transmitter {
+ public:
+  explicit Gen2Transmitter(const Gen2Config& config);
+
+  [[nodiscard]] const Gen2Config& config() const noexcept { return config_; }
+
+  /// Frames \p payload and synthesizes complex baseband at analog_fs.
+  [[nodiscard]] std::pair<CplxWaveform, TxFrame> transmit(const BitVec& payload) const;
+
+  /// Real passband synthesis at \p rf_fs (>= 2x the channel's top edge)
+  /// through the quadrature upconverter -- used by passband demos/benches.
+  [[nodiscard]] RealWaveform transmit_passband(const CplxWaveform& baseband,
+                                               double rf_fs) const;
+
+  /// RRC prototype at analog_fs.
+  [[nodiscard]] const RealWaveform& prototype() const noexcept { return pulse_; }
+
+  /// The framer (receiver needs the same preamble).
+  [[nodiscard]] const phy::PacketFramer& framer() const noexcept { return framer_; }
+
+  /// Clean preamble waveform at the ADC rate (the acquisition/channel-
+  /// estimation template).
+  [[nodiscard]] CplxVec preamble_template_adc() const;
+
+  /// Pulse matched-filter taps at the ADC rate.
+  [[nodiscard]] RealVec pulse_taps_adc() const;
+
+ private:
+  Gen2Config config_;
+  RealWaveform pulse_;
+  phy::PacketFramer framer_;
+};
+
+}  // namespace uwb::txrx

@@ -1,0 +1,247 @@
+// End-to-end integration tests: whole-link behaviours the paper's
+// architecture promises -- BER near theory on AWGN, RAKE/MLSE gains under
+// multipath, spectral monitor + notch against interferers, acquisition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_utils.h"
+#include "sim/ber_simulator.h"
+#include "sim/scenario.h"
+#include "txrx/link.h"
+
+namespace uwb {
+namespace {
+
+using sim::BerPoint;
+using sim::BerStop;
+using sim::TrialOutcome;
+using txrx::Gen2Link;
+using txrx::Gen2LinkOptions;
+
+BerPoint run_gen2(Gen2Link& link, const Gen2LinkOptions& options, std::size_t min_errors = 30,
+                  std::size_t max_bits = 120000) {
+  BerStop stop;
+  stop.min_errors = min_errors;
+  stop.max_bits = max_bits;
+  stop.max_trials = 2000;
+  return sim::measure_ber(
+      [&]() {
+        const auto trial = link.run_packet(options);
+        return TrialOutcome{trial.bits, trial.errors};
+      },
+      stop);
+}
+
+TEST(Integration, Gen2AwgnBerTracksTheoryWithin2dB) {
+  // The full receive chain (front end, 5-bit SARs, estimation, RAKE) should
+  // sit within ~2 dB of textbook BPSK on a clean AWGN channel.
+  Gen2Link link(sim::gen2_fast(), 0x1001);
+  Gen2LinkOptions options;
+  options.payload_bits = 400;
+  options.cm = 0;
+  options.ebn0_db = 7.0;
+  const BerPoint point = run_gen2(link, options);
+  const double theory = bpsk_awgn_ber(from_db(7.0));
+  const double theory_minus2db = bpsk_awgn_ber(from_db(5.0));
+  EXPECT_GT(point.ber, 0.2 * theory);            // not mysteriously optimistic
+  EXPECT_LT(point.ber, 1.2 * theory_minus2db);   // at most ~2 dB implementation loss
+}
+
+TEST(Integration, Gen2BerImprovesWithEbn0) {
+  Gen2Link link(sim::gen2_fast(), 0x1002);
+  Gen2LinkOptions options;
+  options.payload_bits = 400;
+  options.cm = 0;
+  double prev = 1.0;
+  for (double ebn0 : {2.0, 5.0, 8.0}) {
+    options.ebn0_db = ebn0;
+    const BerPoint point = run_gen2(link, options, 25, 80000);
+    EXPECT_LT(point.ber, prev) << "Eb/N0=" << ebn0;
+    prev = point.ber;
+  }
+}
+
+TEST(Integration, RakeBeatsSingleFingerUnderMultipath) {
+  txrx::Gen2Config rake_config = sim::gen2_fast();
+  rake_config.use_mlse = false;
+  rake_config.rake.num_fingers = 8;
+  txrx::Gen2Config mf_config = rake_config;
+  mf_config.use_rake = false;
+
+  Gen2LinkOptions options;
+  options.payload_bits = 300;
+  options.cm = 2;
+  options.ebn0_db = 12.0;
+
+  Gen2Link rake_link(rake_config, 0x2001);
+  Gen2Link mf_link(mf_config, 0x2001);  // same seed: same channels
+  const BerPoint with_rake = run_gen2(rake_link, options, 25, 100000);
+  const BerPoint without = run_gen2(mf_link, options, 25, 100000);
+  EXPECT_LT(with_rake.ber, without.ber * 0.8)
+      << "rake=" << with_rake.ber << " single=" << without.ber;
+}
+
+TEST(Integration, MlseHelpsOnDispersiveChannel) {
+  // CM3/CM4-like delay spreads put ISI into a 100 Mbps stream; the Viterbi
+  // demodulator should beat RAKE-only.
+  txrx::Gen2Config mlse_config = sim::gen2_fast();
+  mlse_config.use_mlse = true;
+  mlse_config.mlse.memory = 3;
+  txrx::Gen2Config rake_config = mlse_config;
+  rake_config.use_mlse = false;
+
+  Gen2LinkOptions options;
+  options.payload_bits = 300;
+  options.cm = 3;
+  options.ebn0_db = 14.0;
+
+  Gen2Link mlse_link(mlse_config, 0x3001);
+  Gen2Link rake_link(rake_config, 0x3001);
+  const BerPoint with_mlse = run_gen2(mlse_link, options, 30, 100000);
+  const BerPoint rake_only = run_gen2(rake_link, options, 30, 100000);
+  EXPECT_LT(with_mlse.ber, rake_only.ber)
+      << "mlse=" << with_mlse.ber << " rake=" << rake_only.ber;
+}
+
+TEST(Integration, InterfererHurtsAndNotchRecovers) {
+  txrx::Gen2Config config = sim::gen2_fast();
+  Gen2LinkOptions clean;
+  clean.payload_bits = 300;
+  clean.cm = 0;
+  clean.ebn0_db = 10.0;
+
+  Gen2LinkOptions jammed = clean;
+  jammed.interferer = true;
+  jammed.interferer_sir_db = -15.0;  // interferer 15 dB above the signal
+  jammed.interferer_freq_hz = 120e6;
+
+  Gen2LinkOptions notched = jammed;
+  notched.auto_notch = true;
+
+  Gen2Link link_clean(config, 0x4001);
+  Gen2Link link_jam(config, 0x4001);
+  Gen2Link link_notch(config, 0x4001);
+  const BerPoint p_clean = run_gen2(link_clean, clean, 20, 60000);
+  const BerPoint p_jam = run_gen2(link_jam, jammed, 20, 60000);
+  const BerPoint p_notch = run_gen2(link_notch, notched, 20, 60000);
+
+  EXPECT_GT(p_jam.ber, 5.0 * std::max(p_clean.ber, 1e-5));
+  EXPECT_LT(p_notch.ber, p_jam.ber * 0.5)
+      << "clean=" << p_clean.ber << " jam=" << p_jam.ber << " notch=" << p_notch.ber;
+}
+
+TEST(Integration, SpectralMonitorReportsFrequency) {
+  txrx::Gen2Config config = sim::gen2_fast();
+  Gen2Link link(config, 0x5001);
+  Gen2LinkOptions options;
+  options.payload_bits = 200;
+  options.ebn0_db = 12.0;
+  options.interferer = true;
+  options.interferer_sir_db = -12.0;
+  options.interferer_freq_hz = 150e6;
+  const auto trial = link.run_packet(options);
+  EXPECT_TRUE(trial.rx.interferer.detected);
+  EXPECT_NEAR(trial.rx.interferer.frequency_hz, 150e6, 8e6);
+}
+
+TEST(Integration, ChannelEstimatePrecisionMatters) {
+  // 1-bit channel taps must do worse than 4-bit taps on multipath (the
+  // paper's 4-bit estimation choice).
+  txrx::Gen2Config coarse = sim::gen2_fast();
+  coarse.chanest.quantization_bits = 1;
+  txrx::Gen2Config four = sim::gen2_fast();
+  four.chanest.quantization_bits = 4;
+
+  Gen2LinkOptions options;
+  options.payload_bits = 300;
+  options.cm = 2;
+  options.ebn0_db = 12.0;
+
+  Gen2Link link_coarse(coarse, 0x6001);
+  Gen2Link link_four(four, 0x6001);
+  const BerPoint p1 = run_gen2(link_coarse, options, 25, 80000);
+  const BerPoint p4 = run_gen2(link_four, options, 25, 80000);
+  EXPECT_LT(p4.ber, p1.ber) << "4-bit=" << p4.ber << " 1-bit=" << p1.ber;
+}
+
+TEST(Integration, Gen1LinkAt193kbps) {
+  txrx::Gen1Config config = sim::gen1_fast();
+  txrx::Gen1Link link(config, 0x7001);
+  txrx::Gen1LinkOptions options;
+  options.payload_bits = 24;
+  options.genie_timing = true;
+  options.ebn0_db = 10.0;
+
+  std::size_t bits = 0, errors = 0;
+  for (int p = 0; p < 8; ++p) {
+    const auto trial = link.run_packet(options);
+    bits += trial.bits;
+    errors += trial.errors;
+  }
+  // 16-pulse spreading gives large processing gain; at 10 dB the link is
+  // essentially clean.
+  EXPECT_LT(static_cast<double>(errors) / static_cast<double>(bits), 0.01);
+}
+
+TEST(Integration, Gen1SyncUnder70us) {
+  txrx::Gen1Config config = sim::gen1_nominal();
+  txrx::Gen1Link link(config, 0x8001);
+  txrx::Gen1LinkOptions options;
+  options.payload_bits = 8;
+  options.ebn0_db = 18.0;
+  options.genie_timing = false;
+
+  int correct = 0;
+  double worst_time = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    const auto trial = link.run_acquisition(options);
+    if (trial.timing_correct) ++correct;
+    worst_time = std::max(worst_time, trial.acq.sync_time_s);
+  }
+  EXPECT_GE(correct, trials - 1);  // allow one miss at moderate SNR
+  EXPECT_LT(worst_time, 70e-6);    // the paper's headline claim
+}
+
+TEST(Integration, AcquisitionParallelismControlsSyncTime) {
+  txrx::Gen1Config fast = sim::gen1_nominal();
+  fast.acq_parallelism_stage1 = 64;
+  txrx::Gen1Config slow = fast;
+  slow.acq_parallelism_stage1 = 8;
+
+  txrx::Gen1Link link_fast(fast, 0x9001);
+  txrx::Gen1Link link_slow(slow, 0x9001);
+  txrx::Gen1LinkOptions options;
+  options.payload_bits = 8;
+  options.ebn0_db = 18.0;
+  options.genie_timing = false;
+
+  const auto fast_trial = link_fast.run_acquisition(options);
+  const auto slow_trial = link_slow.run_acquisition(options);
+  EXPECT_LT(fast_trial.acq.sync_time_s, slow_trial.acq.sync_time_s);
+}
+
+TEST(Integration, ModulationSchemesRankCorrectlyOnAwgn) {
+  // BPSK < OOK ~ PPM in BER at the same Eb/N0 (3 dB antipodal gain).
+  Gen2LinkOptions options;
+  options.payload_bits = 400;
+  options.cm = 0;
+  options.ebn0_db = 8.0;
+
+  auto ber_of = [&](phy::Modulation m, uint64_t seed) {
+    txrx::Gen2Config config = sim::gen2_fast();
+    config.modulation = m;
+    config.use_mlse = false;
+    Gen2Link link(config, seed);
+    return run_gen2(link, options, 25, 80000).ber;
+  };
+  const double bpsk = ber_of(phy::Modulation::kBpsk, 0xA001);
+  const double ook = ber_of(phy::Modulation::kOok, 0xA001);
+  EXPECT_LT(bpsk, ook) << "bpsk=" << bpsk << " ook=" << ook;
+}
+
+}  // namespace
+}  // namespace uwb

@@ -1,0 +1,218 @@
+// Tests for the transceiver layer: configurations, transmitters, power
+// model, and single-packet receiver happy paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "channel/awgn.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "dsp/power_spectrum.h"
+#include "sim/scenario.h"
+#include "txrx/link.h"
+#include "txrx/power_model.h"
+#include "txrx/receiver_gen1.h"
+#include "txrx/receiver_gen2.h"
+#include "txrx/transmitter.h"
+
+namespace uwb::txrx {
+namespace {
+
+// --------------------------------------------------------------- configs ----
+
+TEST(Config, Gen1PaperNumerology) {
+  const Gen1Config config = sim::gen1_nominal();
+  EXPECT_DOUBLE_EQ(config.adc_rate, 2e9);  // the 2 GSps converter
+  EXPECT_EQ(config.adc_lanes, 4);          // 4-way interleaved
+  // 2 GHz / 648 / 16 = 192.9 kbps ~ the paper's 193 kbps link.
+  EXPECT_NEAR(config.bit_rate_hz(), 193e3, 1e3);
+  // PN period = 127 frames = 41.1 us.
+  EXPECT_NEAR(127.0 * 648.0 / 2e9, 41.1e-6, 0.2e-6);
+}
+
+TEST(Config, Gen2PaperNumerology) {
+  const Gen2Config config = sim::gen2_nominal();
+  EXPECT_DOUBLE_EQ(config.prf_hz, 100e6);
+  EXPECT_DOUBLE_EQ(config.bit_rate_hz(), 100e6);  // 100 Mbps
+  EXPECT_EQ(config.sar.bits, 5);                  // two 5-bit SARs
+  EXPECT_EQ(config.chanest.quantization_bits, 4); // 4-bit CIR taps
+  EXPECT_DOUBLE_EQ(config.pulse.bandwidth_hz, 500e6);
+  EXPECT_EQ(config.samples_per_bit_adc(), 10u);
+}
+
+// ----------------------------------------------------------- transmitters ----
+
+TEST(Gen1Transmitter, FrameLayout) {
+  const Gen1Config config = sim::gen1_fast();
+  const Gen1Transmitter tx(config);
+  Rng rng(1);
+  auto [wave, frame] = tx.transmit(rng.bits(32));
+  EXPECT_EQ(frame.preamble_bits, 127u);  // 1 repetition in the fast config
+  EXPECT_GT(wave.size(), 127u * config.frame_samples_analog());
+  EXPECT_GT(frame.energy_per_bit, 0.0);
+  // Data bits: SFD(16) + header(32) + payload+CRC(64).
+  EXPECT_EQ(frame.frame_bits.size(), 16u + 32u + 64u);
+}
+
+TEST(Gen1Transmitter, PreambleChipsAreAntipodal) {
+  const Gen1Transmitter tx(sim::gen1_nominal());
+  EXPECT_EQ(tx.preamble_chips().size(), 127u);
+  for (double c : tx.preamble_chips()) {
+    EXPECT_TRUE(c == 1.0 || c == -1.0);
+  }
+  EXPECT_EQ(tx.preamble_frames(), 254u);  // 2 repetitions
+}
+
+TEST(Gen2Transmitter, FrameLayoutBpsk) {
+  const Gen2Config config = sim::gen2_fast();
+  const Gen2Transmitter tx(config);
+  Rng rng(2);
+  auto [wave, frame] = tx.transmit(rng.bits(100));
+  // Overhead: preamble (63*2) + SFD 16 + header 32.
+  EXPECT_EQ(frame.overhead_symbols, 126u + 16u + 32u);
+  EXPECT_EQ(frame.payload_symbols, 132u);  // payload + CRC-32, BPSK
+  EXPECT_EQ(frame.body_bits, 132u);
+  EXPECT_EQ(wave.sample_rate(), config.analog_fs);
+  EXPECT_GT(frame.energy_per_bit, 0.0);
+}
+
+TEST(Gen2Transmitter, OccupiedBandwidthIs500MHz) {
+  const Gen2Config config = sim::gen2_fast();
+  const Gen2Transmitter tx(config);
+  Rng rng(3);
+  auto [wave, frame] = tx.transmit(rng.bits(400));
+  const dsp::Psd psd = dsp::welch_psd(wave, 1024);
+  const double bw = dsp::bandwidth_at_level(psd, -10.0);
+  EXPECT_NEAR(bw, 500e6, 150e6);
+}
+
+TEST(Gen2Transmitter, PassbandSynthesisAtChannel) {
+  Gen2Config config = sim::gen2_fast();
+  config.channel_index = 4;  // ~5 GHz (Fig. 4)
+  const Gen2Transmitter tx(config);
+  Rng rng(4);
+  auto [bb, frame] = tx.transmit(rng.bits(16));
+  // Truncate for speed.
+  const CplxWaveform head = bb.slice(0, std::min<std::size_t>(bb.size(), 16384));
+  const RealWaveform rf = tx.transmit_passband(head, 20e9);
+  EXPECT_DOUBLE_EQ(rf.sample_rate(), 20e9);
+  const dsp::Psd psd = dsp::welch_psd(rf, 4096);
+  const pulse::BandPlan plan;
+  EXPECT_NEAR(psd.freq_hz[psd.peak_bin()], plan.center_frequency(4), 500e6);
+}
+
+TEST(Gen2Transmitter, PreambleTemplateMatchesConfig) {
+  const Gen2Config config = sim::gen2_fast();
+  const Gen2Transmitter tx(config);
+  const CplxVec tmpl = tx.preamble_template_adc();
+  // 126 preamble symbols at 10 samples/bit plus the pulse tail.
+  EXPECT_GT(tmpl.size(), 1260u);
+  EXPECT_LT(tmpl.size(), 1400u);
+}
+
+// ------------------------------------------------------------ power model ----
+
+TEST(PowerModel, Gen1AdcPlusDigitalDominate) {
+  const PowerBreakdown bd = gen1_power(sim::gen1_nominal());
+  EXPECT_GT(bd.total_w(), 0.0);
+  // The paper's claim: more than half in the ADC + digital back end.
+  EXPECT_GT(bd.adc_plus_digital_fraction(), 0.5);
+}
+
+TEST(PowerModel, Gen2AdcPlusDigitalDominate) {
+  const PowerBreakdown bd = gen2_power(sim::gen2_nominal());
+  EXPECT_GT(bd.adc_plus_digital_fraction(), 0.5);
+}
+
+TEST(PowerModel, MlseCostScalesWithStates) {
+  Gen2Config small = sim::gen2_nominal();
+  small.mlse.memory = 2;
+  Gen2Config big = small;
+  big.mlse.memory = 6;
+  const double p_small = gen2_power(small).group_w("Digital");
+  const double p_big = gen2_power(big).group_w("Digital");
+  EXPECT_GT(p_big, p_small);
+}
+
+TEST(PowerModel, EnergyPerBitTradeoff) {
+  // Fewer RAKE fingers and no MLSE = less energy per bit.
+  Gen2Config lean = sim::gen2_nominal();
+  lean.rake.num_fingers = 2;
+  lean.use_mlse = false;
+  lean.mlse.memory = 1;
+  Gen2Config rich = sim::gen2_nominal();
+  rich.rake.num_fingers = 16;
+  rich.mlse.memory = 6;
+  EXPECT_LT(gen2_energy_per_bit_j(lean), gen2_energy_per_bit_j(rich));
+}
+
+TEST(PowerModel, AdcPowerScalesWithBits) {
+  Gen2Config b4 = sim::gen2_nominal();
+  b4.sar.bits = 4;
+  Gen2Config b6 = sim::gen2_nominal();
+  b6.sar.bits = 6;
+  EXPECT_NEAR(gen2_power(b6).group_w("ADC") / gen2_power(b4).group_w("ADC"), 4.0, 0.01);
+}
+
+// -------------------------------------------------------- receiver smoke ----
+
+TEST(Gen2Receiver, CleanPacketZeroErrors) {
+  const Gen2Config config = sim::gen2_fast();
+  Gen2Link link(config, 0xBEEF);
+  Gen2LinkOptions options;
+  options.ebn0_db = 25.0;  // essentially clean
+  options.payload_bits = 64;
+  options.cm = 0;
+  const Gen2TrialResult trial = link.run_packet(options);
+  EXPECT_TRUE(trial.rx.acquired);
+  EXPECT_EQ(trial.errors, 0u) << "ber=" << static_cast<double>(trial.errors) / trial.bits;
+  EXPECT_GT(trial.rx.rake_energy_capture, 0.5);
+}
+
+TEST(Gen2Receiver, MultipathPacketDecodes) {
+  const Gen2Config config = sim::gen2_fast();
+  Gen2Link link(config, 0xCAFE);
+  Gen2LinkOptions options;
+  options.ebn0_db = 22.0;
+  options.payload_bits = 64;
+  options.cm = 1;  // mild LOS multipath
+  std::size_t total_bits = 0, total_errors = 0;
+  for (int p = 0; p < 5; ++p) {
+    const Gen2TrialResult trial = link.run_packet(options);
+    total_bits += trial.bits;
+    total_errors += trial.errors;
+  }
+  EXPECT_LT(static_cast<double>(total_errors) / static_cast<double>(total_bits), 0.02);
+}
+
+TEST(Gen1Receiver, CleanPacketZeroErrors) {
+  const Gen1Config config = sim::gen1_fast();
+  Gen1Link link(config, 0xF00D);
+  Gen1LinkOptions options;
+  options.ebn0_db = 20.0;
+  options.payload_bits = 16;
+  options.genie_timing = true;
+  const Gen1TrialResult trial = link.run_packet(options);
+  EXPECT_EQ(trial.errors, 0u);
+  EXPECT_GT(trial.bits, 0u);
+}
+
+TEST(Gen1Receiver, AcquisitionFindsTiming) {
+  const Gen1Config config = sim::gen1_nominal();
+  Gen1Link link(config, 0xACE);
+  Gen1LinkOptions options;
+  options.ebn0_db = 18.0;  // gen-1's short-range link budget leaves ample margin
+  options.payload_bits = 8;
+  options.genie_timing = false;
+  const auto trial = link.run_acquisition(options);
+  EXPECT_TRUE(trial.acq.acquired);
+  EXPECT_TRUE(trial.timing_correct);
+  // Modeled sync time must satisfy the paper's < 70 us budget with the
+  // default parallelism.
+  EXPECT_LT(trial.acq.sync_time_s, 70e-6);
+}
+
+}  // namespace
+}  // namespace uwb::txrx
