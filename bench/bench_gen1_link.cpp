@@ -1,11 +1,17 @@
 // E3 (Section 2): "A wireless link of 193 kbps was demonstrated with this
 // transceiver." BER vs Eb/N0 of the gen-1 baseband link (4-bit interleaved
 // flash, PN despreading) against the antipodal theory curve.
+//
+// Runs on the parallel sweep engine via the "gen1_waterfall" registry
+// scenario; raw points land in bench/results/gen1_waterfall.json.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "common/math_utils.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
 #include "sim/scenario.h"
 
 int main() {
@@ -13,20 +19,23 @@ int main() {
   const uint64_t seed = 0xE3;
   bench::print_header("E3 / Section 2", "gen-1 193 kbps link, BER vs Eb/N0", seed);
 
-  txrx::Gen1Config config = sim::gen1_fast();
-  txrx::Gen1Link link(config, seed);
+  const txrx::Gen1Config config = sim::gen1_fast();
   std::printf("bit rate %.1f kbps, %d pulses/bit, %d-bit 4-way flash @ 2 GSps\n\n",
               config.bit_rate_hz() / 1e3, config.pulses_per_bit, config.adc_bits);
 
-  sim::Table table({"Eb/N0", "BER measured", "BER theory (BPSK)", "impl loss"});
-  for (double ebn0 : {4.0, 6.0, 8.0, 10.0}) {
-    txrx::Gen1LinkOptions options;
-    options.ebn0_db = ebn0;
-    options.payload_bits = 48;
-    options.genie_timing = true;
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
+  sweep_config.stop = bench::stop_rule(30, bench::fast_mode() ? 4000 : 20000);
 
-    const auto stop = bench::stop_rule(30, bench::fast_mode() ? 4000 : 20000);
-    const sim::BerPoint point = bench::gen1_ber(link, options, stop);
+  engine::JsonSink json(engine::default_result_path("gen1_waterfall", "json"));
+  engine::SweepEngine sweep(sweep_config);
+  const engine::SweepResult result = sweep.run_named("gen1_waterfall", {&json});
+
+  sim::Table table({"Eb/N0", "BER measured", "BER theory (BPSK)", "impl loss"});
+  for (const auto& record : result.records) {
+    const double ebn0 = std::stod(record.spec.tag("ebn0_db"));
+    const sim::BerPoint& point = record.ber;
     const double theory = bpsk_awgn_ber(from_db(ebn0));
     // Implementation loss: dB shift needed for theory to match measurement.
     double loss = 0.0;
@@ -40,6 +49,7 @@ int main() {
                    point.ber > 0.0 ? sim::Table::db(loss) : "n/a"});
   }
   std::printf("%s", table.to_string().c_str());
+  std::printf("\n(results: %s)\n", json.path().c_str());
   std::printf("\nShape check: waterfall parallel to the BPSK curve with a small\n"
               "implementation loss (ADC quantization, sampling phase, interleave\n"
               "mismatch) -- the operating margin that let the chip demonstrate its\n"

@@ -3,12 +3,18 @@
 // estimation, RAKE, Viterbi demodulator) against a matched-filter-only
 // receiver. Reproduces the architecture's headline: the programmable back
 // end is what makes 100 Mbps survive 20 ns delay spreads.
+//
+// Runs on the parallel sweep engine: the "gen2_cm_grid" registry scenario
+// expands to the CM0-CM4 x Eb/N0 x {full, mf_only} plan, trials fan out
+// over all cores with deterministic per-trial seeding, and the raw points
+// land in bench/results/gen2_cm_grid.json for plotting.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
-#include "common/math_utils.h"
-#include "sim/scenario.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
 
 int main() {
   using namespace uwb;
@@ -16,39 +22,40 @@ int main() {
   bench::print_header("E4 / Fig. 3", "gen-2 100 Mbps link, CM1-CM4, full back end vs MF",
                       seed);
 
-  const double ebn0_values[] = {8.0, 12.0, 16.0};
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
+  sweep_config.stop = bench::stop_rule(40, 60000);
 
+  engine::JsonSink json(engine::default_result_path("gen2_cm_grid", "json"));
+  engine::SweepEngine sweep(sweep_config);
+  const engine::SweepResult result = sweep.run_named("gen2_cm_grid", {&json});
+
+  // Pair each "full" point with its "mf_only" sibling by the remaining
+  // axis tags, so the table tracks whatever grid the registry defines.
   sim::Table table({"channel", "Eb/N0", "BER full (RAKE+MLSE)", "BER MF-only", "gain"});
-  for (int cm = 0; cm <= 4; ++cm) {
-    for (double ebn0 : ebn0_values) {
-      txrx::Gen2Config full = sim::gen2_fast();
-      txrx::Gen2Config mf = full;
-      mf.use_rake = false;
-      mf.use_mlse = false;
+  for (const auto& record : result.records) {
+    if (record.spec.tag("backend") != "full") continue;
+    const std::string channel = record.spec.tag("channel");
+    const std::string ebn0 = record.spec.tag("ebn0_db");
+    const auto* p_mf =
+        result.find({{"channel", channel}, {"ebn0_db", ebn0}, {"backend", "mf_only"}});
+    if (p_mf == nullptr) continue;
+    const auto& p_full = record;
 
-      txrx::Gen2LinkOptions options;
-      options.payload_bits = 300;
-      options.cm = cm;
-      options.ebn0_db = ebn0;
-
-      const auto stop = bench::stop_rule(40, 60000);
-      txrx::Gen2Link link_full(full, seed + static_cast<uint64_t>(cm));
-      txrx::Gen2Link link_mf(mf, seed + static_cast<uint64_t>(cm));
-      const sim::BerPoint p_full = bench::gen2_ber(link_full, options, stop);
-      const sim::BerPoint p_mf = bench::gen2_ber(link_mf, options, stop);
-
-      std::string gain = "--";
-      if (p_full.ber > 0.0 && p_mf.ber > 0.0) {
-        gain = sim::Table::num(p_mf.ber / p_full.ber, 1) + "x";
-      } else if (p_full.ber == 0.0 && p_mf.ber > 0.0) {
-        gain = "> " + sim::Table::num(p_mf.ber * static_cast<double>(p_full.bits), 0) + "x";
-      }
-      table.add_row({cm == 0 ? "AWGN" : "CM" + std::to_string(cm),
-                     sim::Table::db(ebn0, 0), sim::Table::sci(p_full.ber),
-                     sim::Table::sci(p_mf.ber), gain});
+    std::string gain = "--";
+    if (p_full.ber.ber > 0.0 && p_mf->ber.ber > 0.0) {
+      gain = sim::Table::num(p_mf->ber.ber / p_full.ber.ber, 1) + "x";
+    } else if (p_full.ber.ber == 0.0 && p_mf->ber.ber > 0.0) {
+      gain = "> " +
+             sim::Table::num(p_mf->ber.ber * static_cast<double>(p_full.ber.bits), 0) +
+             "x";
     }
+    table.add_row({channel, ebn0 + " dB", sim::Table::sci(p_full.ber.ber),
+                   sim::Table::sci(p_mf->ber.ber), gain});
   }
   std::printf("%s", table.to_string().c_str());
+  std::printf("\n(results: %s)\n", json.path().c_str());
   std::printf("\nShape check: on AWGN both receivers track theory; as the delay spread\n"
               "grows (CM1 -> CM4, up to ~25 ns vs the 10 ns bit) the MF-only receiver\n"
               "floors while RAKE+MLSE keeps the 100 Mbps link usable -- the reason the\n"

@@ -56,6 +56,15 @@ inline sim::BerPoint gen1_ber(txrx::Gen1Link& link, const txrx::Gen1LinkOptions&
       stop);
 }
 
+/// Worker count for engine sweeps: UWB_BENCH_WORKERS when set, else 0
+/// (auto = hardware concurrency).
+inline std::size_t worker_count() {
+  const char* env = std::getenv("UWB_BENCH_WORKERS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed <= 0 ? 0 : static_cast<std::size_t>(parsed);
+}
+
 /// Uniform experiment header: id, paper anchor, seed.
 inline void print_header(const std::string& id, const std::string& claim, uint64_t seed) {
   std::printf("%s", sim::banner(id + " -- " + claim).c_str());

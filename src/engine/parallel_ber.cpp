@@ -1,0 +1,131 @@
+#include "engine/parallel_ber.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "sim/metrics.h"
+
+namespace uwb::engine {
+
+namespace {
+
+/// The sequential stopping rule, evaluated before counting another trial.
+bool keep_going(const sim::BerCounter& counter, std::size_t trials,
+                const sim::BerStop& stop) {
+  return counter.errors() < stop.min_errors && counter.bits() < stop.max_bits &&
+         trials < stop.max_trials;
+}
+
+sim::BerPoint make_point(const sim::BerCounter& counter, std::size_t trials) {
+  sim::BerPoint point;
+  point.ber = counter.ber();              // 0 when the stream yielded no bits
+  point.ci95 = counter.ci95_halfwidth();  // likewise guarded against bits == 0
+  point.bits = counter.bits();
+  point.errors = counter.errors();
+  point.trials = trials;
+  return point;
+}
+
+}  // namespace
+
+sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
+                                 const Rng& root) {
+  sim::BerCounter counter;
+  std::size_t trials = 0;
+  while (keep_going(counter, trials, stop)) {
+    Rng trial_rng = root.fork(trials);
+    const sim::TrialOutcome out = trial(trial_rng);
+    counter.add(out.errors, out.bits);
+    ++trials;
+  }
+  return make_point(counter, trials);
+}
+
+sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerStop& stop,
+                                   const Rng& root, ThreadPool& pool) {
+  // Shared ordered-commit state. Workers race ahead claiming trial indices
+  // but outcomes only count once every lower-indexed trial has counted and
+  // the stopping rule was still live -- the sequential semantics exactly.
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable window_open;   // speculation window advanced / stop
+    std::condition_variable workers_done;
+    std::deque<std::optional<sim::TrialOutcome>> window;  // slot k = trial committed+k
+    std::size_t next_claim = 0;
+    std::size_t committed = 0;
+    sim::BerCounter counter;
+    bool stopped = false;
+    std::size_t active_workers = 0;
+  } shared;
+
+  // Degenerate budgets: nothing to run (matches the serial loop).
+  {
+    if (!keep_going(shared.counter, 0, stop)) return make_point(shared.counter, 0);
+  }
+
+  const std::size_t num_workers = std::max<std::size_t>(1, pool.size());
+  // How far past the commit frontier workers may speculate. Large enough to
+  // keep every worker busy, small enough to bound discarded work and memory.
+  const std::size_t window_cap = std::max<std::size_t>(64, 8 * num_workers);
+
+  shared.active_workers = num_workers;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pool.submit([&factory, &stop, &root, &shared, window_cap] {
+      const TrialFn trial = factory();
+      for (;;) {
+        std::size_t index;
+        {
+          std::unique_lock<std::mutex> lock(shared.mutex);
+          if (shared.stopped || shared.next_claim >= stop.max_trials) break;
+          index = shared.next_claim++;
+          // Speculation bound: wait until this index is near the frontier.
+          shared.window_open.wait(lock, [&] {
+            return shared.stopped || index < shared.committed + window_cap;
+          });
+          if (shared.stopped) break;
+        }
+
+        Rng trial_rng = root.fork(index);
+        const sim::TrialOutcome out = trial(trial_rng);
+
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (shared.stopped) break;
+        const std::size_t slot = index - shared.committed;
+        if (shared.window.size() <= slot) shared.window.resize(slot + 1);
+        shared.window[slot] = out;
+        // Advance the frontier: commit in index order under the rule.
+        while (!shared.window.empty() && shared.window.front().has_value()) {
+          if (!keep_going(shared.counter, shared.committed, stop)) break;
+          shared.counter.add(shared.window.front()->errors, shared.window.front()->bits);
+          ++shared.committed;
+          shared.window.pop_front();
+        }
+        if (!keep_going(shared.counter, shared.committed, stop)) {
+          shared.stopped = true;
+        }
+        shared.window_open.notify_all();
+      }
+
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      if (--shared.active_workers == 0) shared.workers_done.notify_all();
+      shared.window_open.notify_all();  // release peers still waiting
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.workers_done.wait(lock, [&] { return shared.active_workers == 0; });
+  // All workers exited. Either the rule tripped (stopped) or every index up
+  // to max_trials was claimed; drain any committed-prefix stragglers.
+  while (!shared.window.empty() && shared.window.front().has_value() &&
+         keep_going(shared.counter, shared.committed, stop)) {
+    shared.counter.add(shared.window.front()->errors, shared.window.front()->bits);
+    ++shared.committed;
+    shared.window.pop_front();
+  }
+  return make_point(shared.counter, shared.committed);
+}
+
+}  // namespace uwb::engine

@@ -1,0 +1,45 @@
+#pragma once
+/// \file parallel_ber.h
+/// \brief Deterministic parallel Monte-Carlo BER measurement.
+///
+/// The sequential loop in sim::measure_ber runs trials one after another and
+/// stops on an error/bit/trial budget. This module parallelizes that loop
+/// WITHOUT changing its answer: trial i draws every random number from
+/// `root.fork(i)`, workers execute trials speculatively, and outcomes are
+/// committed strictly in trial-index order under the sequential stopping
+/// rule. The set of counted trials is therefore exactly the prefix the
+/// sequential loop would have counted, so the resulting BerPoint is
+/// byte-identical for any worker count or scheduling order.
+
+#include <functional>
+
+#include "common/rng.h"
+#include "engine/thread_pool.h"
+#include "sim/ber_simulator.h"
+
+namespace uwb::engine {
+
+/// One Monte-Carlo trial: a pure function of its per-trial Rng (plus
+/// worker-local state captured by the closure, e.g. a txrx link).
+using TrialFn = std::function<sim::TrialOutcome(Rng&)>;
+
+/// Called once per worker to build worker-local state and return the trial
+/// closure. The factory MUST produce closures whose outcome depends only on
+/// the per-trial Rng -- never on which worker runs the trial or in what
+/// order (that is what makes the parallel result deterministic).
+using TrialFactory = std::function<TrialFn()>;
+
+/// Sequential reference implementation: trial i runs with root.fork(i);
+/// stops once min_errors errors, max_bits bits, or max_trials trials are
+/// reached (max_trials is a hard stop even when no errors accumulate).
+sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
+                                 const Rng& root);
+
+/// Parallel version of measure_ber_serial with identical results: workers
+/// claim trial indices, run them speculatively within a bounded window
+/// ahead of the commit frontier, and commit in index order. Outcomes past
+/// the stopping point are discarded, exactly as if they had never run.
+sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerStop& stop,
+                                   const Rng& root, ThreadPool& pool);
+
+}  // namespace uwb::engine

@@ -1,0 +1,143 @@
+#pragma once
+/// \file scenario_registry.h
+/// \brief Declarative sweep scenarios: named, composable axis grids that
+///        expand into a flat trial plan for the sweep engine.
+///
+/// A scenario is a base transceiver configuration plus a list of axes
+/// (channel model, Eb/N0 grid, back-end variant, interferer/notch/FEC/
+/// modulation settings...). Building takes the cartesian product of the
+/// axes, row-major in declaration order, yielding one PointSpec per grid
+/// point. Scenarios are registered by name in the ScenarioRegistry so a
+/// bench -- or a future sweep CLI -- asks for "gen2_cm_grid" instead of
+/// hand-rolling nested loops.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "txrx/link.h"
+#include "txrx/transceiver_config.h"
+
+namespace uwb::engine {
+
+enum class Generation { kGen1, kGen2 };
+
+/// One fully-resolved grid point: everything needed to construct a link
+/// and run packet trials, plus the axis labels the sinks report.
+struct PointSpec {
+  std::string label;  ///< "CM3 | 12 dB | full", built from the axis values
+  Generation gen = Generation::kGen2;
+
+  // Only the pair matching `gen` is meaningful.
+  txrx::Gen2Config gen2{};
+  txrx::Gen2LinkOptions gen2_options{};
+  txrx::Gen1Config gen1{};
+  txrx::Gen1LinkOptions gen1_options{};
+
+  /// Ordered (axis, value) pairs, e.g. {"channel","CM3"}, {"ebn0_db","12"}.
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  /// Value of an axis tag, or "" when the axis is absent.
+  [[nodiscard]] std::string tag(const std::string& key) const;
+};
+
+/// A named, flat trial plan.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::vector<PointSpec> points;
+};
+
+/// One named setting of a gen-2 axis.
+struct Gen2Variant {
+  std::string name;
+  std::function<void(txrx::Gen2Config&, txrx::Gen2LinkOptions&)> apply;
+};
+
+/// One named setting of a gen-1 axis.
+struct Gen1Variant {
+  std::string name;
+  std::function<void(txrx::Gen1Config&, txrx::Gen1LinkOptions&)> apply;
+};
+
+/// Composes a gen-2 scenario from a base config and axes. Axes expand
+/// row-major: the first declared axis is the outermost loop.
+class Gen2ScenarioBuilder {
+ public:
+  Gen2ScenarioBuilder(std::string name, txrx::Gen2Config base,
+                      txrx::Gen2LinkOptions base_options = {});
+
+  Gen2ScenarioBuilder& description(std::string text);
+
+  /// Channel-model axis "channel": 0 = AWGN, 1..4 = CM1..CM4.
+  Gen2ScenarioBuilder& channels(std::vector<int> cms);
+
+  /// Eb/N0 axis "ebn0_db".
+  Gen2ScenarioBuilder& ebn0_grid(std::vector<double> ebn0_db);
+
+  /// Arbitrary axis (back-end variant, interferer, FEC, modulation, ...).
+  Gen2ScenarioBuilder& axis(std::string axis_name, std::vector<Gen2Variant> variants);
+
+  [[nodiscard]] ScenarioSpec build() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  txrx::Gen2Config base_;
+  txrx::Gen2LinkOptions base_options_;
+  std::vector<std::pair<std::string, std::vector<Gen2Variant>>> axes_;
+};
+
+/// Gen-1 counterpart of Gen2ScenarioBuilder.
+class Gen1ScenarioBuilder {
+ public:
+  Gen1ScenarioBuilder(std::string name, txrx::Gen1Config base,
+                      txrx::Gen1LinkOptions base_options = {});
+
+  Gen1ScenarioBuilder& description(std::string text);
+  Gen1ScenarioBuilder& channels(std::vector<int> cms);
+  Gen1ScenarioBuilder& ebn0_grid(std::vector<double> ebn0_db);
+  Gen1ScenarioBuilder& axis(std::string axis_name, std::vector<Gen1Variant> variants);
+
+  [[nodiscard]] ScenarioSpec build() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  txrx::Gen1Config base_;
+  txrx::Gen1LinkOptions base_options_;
+  std::vector<std::pair<std::string, std::vector<Gen1Variant>>> axes_;
+};
+
+/// Name -> scenario factory map. The process-wide instance (global()) comes
+/// pre-loaded with the paper's standard grids; benches and tests may add
+/// their own or build private registries.
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<ScenarioSpec()>;
+
+  /// The process-wide registry, lazily populated with the built-in
+  /// scenarios on first use. Thread-safe.
+  static ScenarioRegistry& global();
+
+  /// Registers (or replaces) a named scenario.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Expands the named scenario to its flat trial plan.
+  /// \throws InvalidArgument when the name is unknown.
+  [[nodiscard]] ScenarioSpec make(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace uwb::engine

@@ -1,0 +1,184 @@
+#include "engine/sinks.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "sim/table.h"
+
+namespace uwb::engine {
+
+namespace {
+
+/// Shortest round-trip representation: integers stay integers ("0.01"
+/// instead of scientific clutter where possible), and identical doubles
+/// always render to identical text (the determinism the sinks promise).
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest form that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  detail::require(out.good(), "sink: cannot open '" + path + "' for writing");
+  return out;
+}
+
+}  // namespace
+
+std::string default_result_path(const std::string& scenario_name, const std::string& ext) {
+  return "bench/results/" + scenario_name + "." + ext;
+}
+
+// ----------------------------------------------------- ConsoleTableSink ----
+
+ConsoleTableSink::ConsoleTableSink(std::FILE* out) : out_(out) {}
+
+void ConsoleTableSink::begin(const SweepInfo& info) {
+  std::fprintf(out_, "sweep '%s': %zu points, seed %" PRIu64 "\n", info.scenario.c_str(),
+               info.num_points, info.seed);
+}
+
+void ConsoleTableSink::point(const PointRecord& record) { records_.push_back(record); }
+
+void ConsoleTableSink::end(const SweepInfo& info) {
+  (void)info;
+  if (records_.empty()) return;
+  std::vector<std::string> headers;
+  for (const auto& [key, value] : records_.front().spec.tags) {
+    (void)value;
+    headers.push_back(key);
+  }
+  for (const char* h : {"BER", "ci95", "errors", "bits", "trials", "time"}) {
+    headers.emplace_back(h);
+  }
+  sim::Table table(headers);
+  for (const auto& record : records_) {
+    std::vector<std::string> row;
+    for (const auto& [key, value] : record.spec.tags) {
+      (void)key;
+      row.push_back(value);
+    }
+    row.push_back(sim::Table::sci(record.ber.ber));
+    row.push_back(sim::Table::sci(record.ber.ci95));
+    row.push_back(sim::Table::integer(static_cast<long long>(record.ber.errors)));
+    row.push_back(sim::Table::integer(static_cast<long long>(record.ber.bits)));
+    row.push_back(sim::Table::integer(static_cast<long long>(record.ber.trials)));
+    row.push_back(sim::Table::num(record.elapsed_s, 2) + " s");
+    table.add_row(std::move(row));
+  }
+  std::fprintf(out_, "%s", table.to_string().c_str());
+}
+
+// ------------------------------------------------------------- JsonSink ----
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+void JsonSink::point(const PointRecord& record) { records_.push_back(record); }
+
+void JsonSink::end(const SweepInfo& info) {
+  std::ofstream out = open_for_write(path_);
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(info.scenario) << "\",\n";
+  out << "  \"seed\": " << info.seed << ",\n";
+  out << "  \"stop\": {\"min_errors\": " << info.stop.min_errors
+      << ", \"max_bits\": " << info.stop.max_bits
+      << ", \"max_trials\": " << info.stop.max_trials << "},\n";
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& record = records_[i];
+    out << "    {\"index\": " << record.index << ", \"label\": \""
+        << json_escape(record.spec.label) << "\", \"tags\": {";
+    for (std::size_t t = 0; t < record.spec.tags.size(); ++t) {
+      if (t > 0) out << ", ";
+      out << "\"" << json_escape(record.spec.tags[t].first) << "\": \""
+          << json_escape(record.spec.tags[t].second) << "\"";
+    }
+    out << "}, \"ber\": " << json_number(record.ber.ber)
+        << ", \"ci95\": " << json_number(record.ber.ci95)
+        << ", \"errors\": " << record.ber.errors << ", \"bits\": " << record.ber.bits
+        << ", \"trials\": " << record.ber.trials << "}";
+    out << (i + 1 < records_.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  detail::require(out.good(), "JsonSink: write to '" + path_ + "' failed");
+}
+
+// -------------------------------------------------------------- CsvSink ----
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+
+void CsvSink::point(const PointRecord& record) { records_.push_back(record); }
+
+void CsvSink::end(const SweepInfo& info) {
+  (void)info;
+  std::ofstream out = open_for_write(path_);
+  out << "index";
+  if (!records_.empty()) {
+    for (const auto& [key, value] : records_.front().spec.tags) {
+      (void)value;
+      out << "," << csv_escape(key);
+    }
+  }
+  out << ",ber,ci95,errors,bits,trials\n";
+  for (const auto& record : records_) {
+    out << record.index;
+    for (const auto& [key, value] : record.spec.tags) {
+      (void)key;
+      out << "," << csv_escape(value);
+    }
+    out << "," << json_number(record.ber.ber) << "," << json_number(record.ber.ci95) << ","
+        << record.ber.errors << "," << record.ber.bits << "," << record.ber.trials << "\n";
+  }
+  detail::require(out.good(), "CsvSink: write to '" + path_ + "' failed");
+}
+
+}  // namespace uwb::engine

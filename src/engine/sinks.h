@@ -1,0 +1,96 @@
+#pragma once
+/// \file sinks.h
+/// \brief Pluggable result sinks for the sweep engine: console table,
+///        machine-readable JSON and CSV under bench/results/.
+///
+/// Sinks receive every measured point in plan order plus begin/end events.
+/// File sinks deliberately serialize only the sweep's deterministic content
+/// (scenario, seed, stopping rule, per-point results) -- never timings or
+/// worker counts -- so a sweep's JSON/CSV is a pure function of
+/// (scenario, seed, stop) and byte-identical for any thread count.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/scenario_registry.h"
+#include "sim/ber_simulator.h"
+
+namespace uwb::engine {
+
+/// Sweep-level metadata handed to sinks.
+struct SweepInfo {
+  std::string scenario;
+  uint64_t seed = 0;
+  sim::BerStop stop;
+  std::size_t num_points = 0;
+};
+
+/// One measured grid point.
+struct PointRecord {
+  std::size_t index = 0;  ///< position in the flat trial plan
+  PointSpec spec;         ///< the point that was run (labels, tags, configs)
+  sim::BerPoint ber;
+  double elapsed_s = 0.0;  ///< wall-clock for this point (console only)
+};
+
+/// Interface. Methods are invoked from the sweep's calling thread, in plan
+/// order; implementations need no locking.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void begin(const SweepInfo& info) { (void)info; }
+  virtual void point(const PointRecord& record) = 0;
+  virtual void end(const SweepInfo& info) { (void)info; }
+};
+
+/// Buffers rows and prints a sim::Table at end(): one column per axis tag,
+/// then BER, ci95, errors, bits, trials, and per-point wall-clock.
+class ConsoleTableSink : public ResultSink {
+ public:
+  explicit ConsoleTableSink(std::FILE* out = stdout);
+
+  void begin(const SweepInfo& info) override;
+  void point(const PointRecord& record) override;
+  void end(const SweepInfo& info) override;
+
+ private:
+  std::FILE* out_;
+  std::vector<PointRecord> records_;
+};
+
+/// Writes one JSON document at end(). Parent directories are created.
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::string path);
+
+  void point(const PointRecord& record) override;
+  void end(const SweepInfo& info) override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<PointRecord> records_;
+};
+
+/// Writes a CSV (header + one row per point) at end().
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string path);
+
+  void point(const PointRecord& record) override;
+  void end(const SweepInfo& info) override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<PointRecord> records_;
+};
+
+/// Conventional output path for a scenario: "bench/results/<name>.<ext>"
+/// relative to the working directory.
+std::string default_result_path(const std::string& scenario_name, const std::string& ext);
+
+}  // namespace uwb::engine

@@ -1,0 +1,102 @@
+#include "engine/sweep_engine.h"
+
+#include <chrono>
+#include <memory>
+
+#include "txrx/link.h"
+
+namespace uwb::engine {
+
+namespace {
+
+// Salts separating the two per-point child streams (see sweep_engine.h).
+constexpr uint64_t kTrialStreamSalt = 0;
+constexpr uint64_t kLinkSeedSalt = 1;
+
+/// Worker-local trial state for one grid point: the factory hands every
+/// worker its own link (links are not safe for concurrent trials), all
+/// built from the same seed so the simulated hardware is identical.
+TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed) {
+  if (spec.gen == Generation::kGen2) {
+    return [&spec, link_seed]() -> TrialFn {
+      auto link = std::make_shared<txrx::Gen2Link>(spec.gen2, link_seed);
+      return [&spec, link](Rng& rng) {
+        const auto trial = link->run_packet(spec.gen2_options, rng);
+        return sim::TrialOutcome{trial.bits, trial.errors};
+      };
+    };
+  }
+  return [&spec, link_seed]() -> TrialFn {
+    auto link = std::make_shared<txrx::Gen1Link>(spec.gen1, link_seed);
+    return [&spec, link](Rng& rng) {
+      const auto trial = link->run_packet(spec.gen1_options, rng);
+      return sim::TrialOutcome{trial.bits, trial.errors};
+    };
+  };
+}
+
+}  // namespace
+
+const PointRecord* SweepResult::find(
+    const std::vector<std::pair<std::string, std::string>>& tags) const {
+  for (const auto& record : records) {
+    bool all = true;
+    for (const auto& [key, value] : tags) {
+      if (record.spec.tag(key) != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &record;
+  }
+  return nullptr;
+}
+
+SweepEngine::SweepEngine(SweepConfig config) : config_(config) {}
+
+SweepResult SweepEngine::run(const ScenarioSpec& scenario,
+                             const std::vector<ResultSink*>& sinks) {
+  SweepResult result;
+  result.info.scenario = scenario.name;
+  result.info.seed = config_.seed;
+  result.info.stop = config_.stop;
+  result.info.num_points = scenario.points.size();
+
+  for (ResultSink* sink : sinks) sink->begin(result.info);
+
+  ThreadPool pool(config_.workers);
+  const Rng sweep_root(config_.seed);
+
+  // Points run one after another; the pool parallelizes the trials inside
+  // each point. That keeps sink delivery in plan order and makes every
+  // point's result an independent pure function of (seed, point_index).
+  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    const PointSpec& spec = scenario.points[p];
+    const Rng point_root = sweep_root.fork(p);
+    const Rng trial_root = point_root.fork(kTrialStreamSalt);
+    const uint64_t link_seed = point_root.fork(kLinkSeedSalt).seed();
+
+    const auto start = std::chrono::steady_clock::now();
+    const sim::BerPoint ber = measure_ber_parallel(make_trial_factory(spec, link_seed),
+                                                   config_.stop, trial_root, pool);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    PointRecord record;
+    record.index = p;
+    record.spec = spec;
+    record.ber = ber;
+    record.elapsed_s = elapsed.count();
+    for (ResultSink* sink : sinks) sink->point(record);
+    result.records.push_back(std::move(record));
+  }
+
+  for (ResultSink* sink : sinks) sink->end(result.info);
+  return result;
+}
+
+SweepResult SweepEngine::run_named(const std::string& name,
+                                   const std::vector<ResultSink*>& sinks) {
+  return run(ScenarioRegistry::global().make(name), sinks);
+}
+
+}  // namespace uwb::engine

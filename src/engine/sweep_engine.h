@@ -1,0 +1,65 @@
+#pragma once
+/// \file sweep_engine.h
+/// \brief The parallel Monte-Carlo sweep runner: expands a scenario's trial
+///        plan, measures every point on a work-stealing thread pool with
+///        deterministic per-trial seeding, and streams results to sinks.
+///
+/// Seeding contract (what makes sweeps reproducible *and* parallel):
+///
+///   sweep_root  = Rng(config.seed)
+///   point_root  = sweep_root.fork(point_index)
+///   trial_root  = point_root.fork(0)    -> trial i uses trial_root.fork(i)
+///   link_seed   = point_root.fork(1)    -> per-worker link construction
+///
+/// Every worker builds its own link from (point config, link_seed), so all
+/// workers see identical hardware mismatch, and each trial draws all of its
+/// randomness from trial_root.fork(trial_index). Outcomes commit in trial
+/// order under the BerStop rule (see parallel_ber.h), so the measured
+/// BerPoints -- and any JSON/CSV the sinks write -- are byte-identical
+/// whether the sweep ran on 1 worker or 64.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/parallel_ber.h"
+#include "engine/scenario_registry.h"
+#include "engine/sinks.h"
+#include "engine/thread_pool.h"
+#include "sim/ber_simulator.h"
+
+namespace uwb::engine {
+
+struct SweepConfig {
+  uint64_t seed = 0x5eed'0000'cafe'f00dULL;
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  sim::BerStop stop;
+};
+
+/// A completed sweep: the metadata plus every point's record in plan order.
+struct SweepResult {
+  SweepInfo info;
+  std::vector<PointRecord> records;
+
+  /// First record whose tags contain every given (axis, value) pair, or
+  /// nullptr. Benches use this to pair up points for derived columns.
+  [[nodiscard]] const PointRecord* find(
+      const std::vector<std::pair<std::string, std::string>>& tags) const;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepConfig config = {});
+
+  [[nodiscard]] const SweepConfig& config() const noexcept { return config_; }
+
+  /// Runs every point of \p scenario; sinks receive points in plan order.
+  SweepResult run(const ScenarioSpec& scenario, const std::vector<ResultSink*>& sinks = {});
+
+  /// Convenience: expand a registered scenario by name and run it.
+  SweepResult run_named(const std::string& name, const std::vector<ResultSink*>& sinks = {});
+
+ private:
+  SweepConfig config_;
+};
+
+}  // namespace uwb::engine

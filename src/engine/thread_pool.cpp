@@ -1,0 +1,115 @@
+#include "engine/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace uwb::engine {
+
+namespace {
+// Which pool/worker the current thread belongs to, so submit() from inside
+// a task lands on the submitter's own deque (stealable by everyone else).
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Deque>());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (t_pool == this) {
+    target = t_worker;
+  } else {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    target = next_submit_++ % workers_.size();
+  }
+  // Count the task before it becomes visible to workers: otherwise a
+  // thief could finish it and decrement first, letting wait_idle return
+  // (or the counter wrap) while work is still outstanding.
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    ++unfinished_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(signal_mutex_);
+  idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
+  // Own deque first (back: most recently pushed).
+  {
+    std::lock_guard<std::mutex> lock(workers_[id]->mutex);
+    if (!workers_[id]->tasks.empty()) {
+      task = std::move(workers_[id]->tasks.back());
+      workers_[id]->tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal from the front of the other deques, starting just past ours so
+  // thieves spread out instead of all hammering worker 0.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    const std::size_t victim = (id + k) % workers_.size();
+    std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+    if (!workers_[victim]->tasks.empty()) {
+      task = std::move(workers_[victim]->tasks.front());
+      workers_[victim]->tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  t_pool = this;
+  t_worker = id;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(id, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(signal_mutex_);
+      if (--unfinished_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(signal_mutex_);
+    if (stopping_) return;
+    if (unfinished_ == 0) {
+      // Nothing queued anywhere; sleep until new work or shutdown.
+      work_available_.wait(lock);
+      continue;
+    }
+    // Work exists but another worker holds it; brief wait then rescan
+    // (covers the race where a task was queued between pop and lock).
+    work_available_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace uwb::engine

@@ -1,0 +1,64 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Work-stealing thread pool for the Monte-Carlo sweep engine.
+///
+/// Each worker owns a deque of tasks: the owner pushes and pops at the back
+/// (LIFO keeps hot data local), idle workers steal from the front of other
+/// workers' deques (FIFO takes the oldest, largest-grained work). External
+/// submissions are distributed round-robin. The pool is intentionally
+/// simple -- mutex-per-deque, one condition variable -- because sweep tasks
+/// are milliseconds-to-seconds of signal processing, not nanosecond lambdas.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uwb::engine {
+
+class ThreadPool {
+ public:
+  /// \p num_threads 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Safe from any thread, including pool workers (a
+  /// worker submits to its own deque; thieves redistribute the load).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// tasks) has finished executing.
+  void wait_idle();
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  bool try_pop(std::size_t id, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Deque>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex signal_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t unfinished_ = 0;  ///< queued + running tasks (under signal_mutex_)
+  bool stopping_ = false;
+  std::size_t next_submit_ = 0;
+};
+
+}  // namespace uwb::engine

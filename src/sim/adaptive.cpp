@@ -79,6 +79,10 @@ AdaptationDecision LinkAdapter::update(const AdaptationObservation& obs) {
   return current_;
 }
 
+std::vector<AdaptationDecision> LinkAdapter::ladder() {
+  return {rung_minimal(), rung_low(), rung_nominal(), rung_maximal()};
+}
+
 void LinkAdapter::apply(const AdaptationDecision& decision, txrx::Gen2Config& config) {
   config.rake.num_fingers = decision.rake_fingers;
   config.use_mlse = decision.use_mlse;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "txrx/receiver_gen2.h"
 #include "txrx/transceiver_config.h"
@@ -62,6 +63,10 @@ class LinkAdapter {
   /// Writes a decision into a configuration (the fields the paper calls
   /// programmable). Converter hardware fields stay untouched.
   static void apply(const AdaptationDecision& decision, txrx::Gen2Config& config);
+
+  /// The rungs the controller selects between, minimal to maximal -- the
+  /// single source of truth for sweeps that measure the ladder.
+  [[nodiscard]] static std::vector<AdaptationDecision> ladder();
 
   [[nodiscard]] const AdaptationDecision& current() const noexcept { return current_; }
 

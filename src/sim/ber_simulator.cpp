@@ -1,23 +1,13 @@
 #include "sim/ber_simulator.h"
 
+#include "engine/parallel_ber.h"
+
 namespace uwb::sim {
 
 BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop) {
-  BerCounter counter;
-  std::size_t trials = 0;
-  while (counter.errors() < stop.min_errors && counter.bits() < stop.max_bits &&
-         trials < stop.max_trials) {
-    const TrialOutcome out = trial();
-    counter.add(out.errors, out.bits);
-    ++trials;
-  }
-  BerPoint point;
-  point.ber = counter.ber();
-  point.ci95 = counter.ci95_halfwidth();
-  point.bits = counter.bits();
-  point.errors = counter.errors();
-  point.trials = trials;
-  return point;
+  // Thin adapter over the engine's serial core: the closure owns its
+  // randomness, so the per-trial Rng the engine supplies is unused here.
+  return engine::measure_ber_serial([&trial](Rng&) { return trial(); }, stop, Rng(0));
 }
 
 }  // namespace uwb::sim

@@ -16,11 +16,13 @@ struct TrialOutcome {
   std::size_t errors = 0;
 };
 
-/// Stopping rule.
+/// Stopping rule. max_trials is a hard stop even when a trial stream
+/// yields no errors (or no bits at all), so a degenerate trial can never
+/// spin the loop forever.
 struct BerStop {
   std::size_t min_errors = 50;    ///< stop after this many errors...
   std::size_t max_bits = 2'000'000;  ///< ...or this many bits
-  std::size_t max_trials = 100'000;
+  std::size_t max_trials = 100'000;  ///< ...or this many trials, hard stop
 };
 
 /// A measured BER point.
@@ -32,7 +34,10 @@ struct BerPoint {
   std::size_t trials = 0;
 };
 
-/// Runs \p trial repeatedly under the stopping rule.
+/// Runs \p trial repeatedly under the stopping rule. (Sequential; this is
+/// a thin adapter over engine::measure_ber_serial -- parallel sweeps use
+/// engine::SweepEngine / engine::measure_ber_parallel, which produce
+/// identical results for seed-parameterized trials.)
 BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop = {});
 
 }  // namespace uwb::sim

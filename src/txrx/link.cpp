@@ -15,10 +15,14 @@ Gen2Link::Gen2Link(const Gen2Config& config, uint64_t seed)
     : config_(config), rng_(seed), tx_(config), rx_(config, rng_) {}
 
 Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
+  return run_packet(options, rng_);
+}
+
+Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options, Rng& rng) {
   Gen2TrialResult trial;
 
   // Transmit. With an outer code the on-air payload is the codeword.
-  const BitVec info = rng_.bits(options.payload_bits);
+  const BitVec info = rng.bits(options.payload_bits);
   BitVec payload = info;
   if (options.fec.has_value()) {
     detail::require(config_.modulation == phy::Modulation::kBpsk,
@@ -31,7 +35,7 @@ Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
   std::size_t delay = 0;
   if (options.start_delay_max_samples > 0) {
     delay = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_samples)));
+        rng.uniform_int(0, static_cast<int>(options.start_delay_max_samples)));
     wave.delay_samples(delay);
   }
 
@@ -39,7 +43,7 @@ Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
   CplxWaveform rx_wave = std::move(wave);
   if (options.cm >= 1) {
     const channel::SalehValenzuela sv(channel::cm_by_index(options.cm));
-    trial.true_channel = sv.realize(rng_);
+    trial.true_channel = sv.realize(rng);
     rx_wave = trial.true_channel.apply(rx_wave);
   } else {
     trial.true_channel = channel::identity_cir();
@@ -51,12 +55,12 @@ Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
   const double signal_power = rx_wave.power();
   if (options.interferer) {
     channel::add_cw_interferer(rx_wave, options.interferer_freq_hz, signal_power,
-                               options.interferer_sir_db, rng_);
+                               options.interferer_sir_db, rng);
   }
 
   // AWGN at the requested Eb/N0.
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng_);
+  channel::add_awgn(rx_wave, n0, rng);
 
   // Receive. Coded trials bypass the MLSE hard path so the decoder gets
   // the RAKE's soft stream.
@@ -69,10 +73,10 @@ Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
   if (options.fec.has_value()) {
     const bool saved_mlse = config_.use_mlse;
     rx_.mutable_config().use_mlse = false;
-    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng);
     rx_.mutable_config().use_mlse = saved_mlse;
   } else {
-    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng);
   }
 
   trial.bits = trial.rx.bits_compared;
@@ -129,29 +133,33 @@ RealWaveform apply_gen1_channel(RealWaveform wave, int cm, channel::Cir* out_cir
 }  // namespace
 
 Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options) {
+  return run_packet(options, rng_);
+}
+
+Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options, Rng& rng) {
   Gen1TrialResult trial;
 
-  const BitVec payload = rng_.bits(options.payload_bits);
+  const BitVec payload = rng.bits(options.payload_bits);
   auto [wave, frame] = tx_.transmit(payload);
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {
     delay_frames = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
+        rng.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
     wave.delay_samples(delay_frames * config_.frame_samples_analog());
   }
   trial.true_offset_adc = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng_);
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng_);
+  channel::add_awgn(rx_wave, n0, rng);
 
   Gen1RxOptions rx_opts;
   rx_opts.genie_timing = options.genie_timing;
   rx_opts.genie_offset = trial.true_offset_adc;
-  trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng_);
+  trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng);
   trial.bits = trial.rx.bits_compared;
   trial.errors = trial.rx.bit_errors;
   if (!options.genie_timing && !trial.rx.acq.acquired) {
@@ -163,26 +171,31 @@ Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options) {
 
 Gen1Link::AcqTrial Gen1Link::run_acquisition(const Gen1LinkOptions& options,
                                              std::size_t tol_samples) {
+  return run_acquisition(options, rng_, tol_samples);
+}
+
+Gen1Link::AcqTrial Gen1Link::run_acquisition(const Gen1LinkOptions& options, Rng& rng,
+                                             std::size_t tol_samples) {
   AcqTrial out;
 
-  const BitVec payload = rng_.bits(options.payload_bits);
+  const BitVec payload = rng.bits(options.payload_bits);
   auto [wave, frame] = tx_.transmit(payload);
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {
     delay_frames = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
+        rng.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
     wave.delay_samples(delay_frames * config_.frame_samples_analog());
   }
   const std::size_t true_offset = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng_);
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng_);
+  channel::add_awgn(rx_wave, n0, rng);
 
-  out.acq = rx_.acquire(rx_wave, tx_, rng_);
+  out.acq = rx_.acquire(rx_wave, tx_, rng);
   out.true_offset_adc = true_offset;
 
   // Compare timing modulo one PN period (the residual ambiguity the SFD

@@ -49,6 +49,12 @@ struct Gen2TrialResult {
 };
 
 /// Reusable gen-2 link (receiver mismatch drawn once at construction).
+///
+/// Thread-safety: a link instance is NOT safe for concurrent run_packet
+/// calls (the receiver mutates per-packet state). Parallel sweeps give each
+/// worker its own link built from the same (config, seed) -- identical
+/// hardware mismatch -- and pass an explicit per-trial Rng so results are a
+/// pure function of that Rng, independent of which worker runs the trial.
 class Gen2Link {
  public:
   Gen2Link(const Gen2Config& config, uint64_t seed);
@@ -59,6 +65,11 @@ class Gen2Link {
 
   /// Runs one packet; rng state advances (independent trials).
   [[nodiscard]] Gen2TrialResult run_packet(const Gen2LinkOptions& options);
+
+  /// Seed-parameterized variant: all trial randomness (payload, delay,
+  /// channel realization, noise) is drawn from \p rng, so a trial's outcome
+  /// is a pure function of (config, construction seed, rng).
+  [[nodiscard]] Gen2TrialResult run_packet(const Gen2LinkOptions& options, Rng& rng);
 
   /// Direct access to the trial RNG (benches print the seed).
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -87,7 +98,8 @@ struct Gen1TrialResult {
   std::size_t true_offset_adc = 0;  ///< actual preamble start at ADC rate
 };
 
-/// Reusable gen-1 link.
+/// Reusable gen-1 link. Same thread-safety contract as Gen2Link: one link
+/// per worker, per-trial randomness through the explicit-Rng overloads.
 class Gen1Link {
  public:
   Gen1Link(const Gen1Config& config, uint64_t seed);
@@ -99,6 +111,9 @@ class Gen1Link {
 
   [[nodiscard]] Gen1TrialResult run_packet(const Gen1LinkOptions& options);
 
+  /// Seed-parameterized variant (see Gen2Link::run_packet).
+  [[nodiscard]] Gen1TrialResult run_packet(const Gen1LinkOptions& options, Rng& rng);
+
   /// Acquisition-only trial: returns the acquisition result plus whether
   /// the found timing matches the true one (within +/- tol samples, modulo
   /// one PN period).
@@ -109,6 +124,10 @@ class Gen1Link {
   };
   [[nodiscard]] AcqTrial run_acquisition(const Gen1LinkOptions& options,
                                          std::size_t tol_samples = 2);
+
+  /// Seed-parameterized acquisition trial.
+  [[nodiscard]] AcqTrial run_acquisition(const Gen1LinkOptions& options, Rng& rng,
+                                         std::size_t tol_samples);
 
  private:
   Gen1Config config_;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "common/rng.h"
 #include "sim/ber_simulator.h"
@@ -82,6 +84,37 @@ TEST(MeasureBer, StopsOnBitBudgetWhenErrorFree) {
   stop.max_bits = 5000;
   const BerPoint point = measure_ber([]() { return TrialOutcome{1000, 0}; }, stop);
   EXPECT_EQ(point.trials, 5u);
+  EXPECT_DOUBLE_EQ(point.ber, 0.0);
+}
+
+TEST(MeasureBer, ZeroBitTrialsStopAtMaxTrials) {
+  // A degenerate trial stream that never yields a bit (e.g. every packet
+  // lost before comparison) must still terminate at max_trials and report
+  // finite, zeroed statistics -- no divisions by zero bits.
+  BerStop stop;
+  stop.min_errors = 10;
+  stop.max_bits = 1000;
+  stop.max_trials = 7;
+  const BerPoint point = measure_ber([]() { return TrialOutcome{0, 0}; }, stop);
+  EXPECT_EQ(point.trials, 7u);
+  EXPECT_EQ(point.bits, 0u);
+  EXPECT_EQ(point.errors, 0u);
+  EXPECT_DOUBLE_EQ(point.ber, 0.0);
+  EXPECT_DOUBLE_EQ(point.ci95, 0.0);
+  EXPECT_FALSE(std::isnan(point.ber));
+  EXPECT_FALSE(std::isnan(point.ci95));
+}
+
+TEST(MeasureBer, MaxTrialsIsHardStopWithoutErrors) {
+  // Error-free trials with a huge bit budget: the trial cap must bound the
+  // run on its own.
+  BerStop stop;
+  stop.min_errors = 50;
+  stop.max_bits = 1'000'000'000;
+  stop.max_trials = 5;
+  const BerPoint point = measure_ber([]() { return TrialOutcome{10, 0}; }, stop);
+  EXPECT_EQ(point.trials, 5u);
+  EXPECT_EQ(point.bits, 50u);
   EXPECT_DOUBLE_EQ(point.ber, 0.0);
 }
 
