@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "dsp/correlator.h"
+#include "dsp/fast_convolve.h"
 #include "dsp/fft.h"
 #include "dsp/filter_design.h"
 #include "dsp/fir_filter.h"
@@ -110,6 +111,113 @@ void BM_RakeCombine8Finger(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1600);
 }
 BENCHMARK(BM_RakeCombine8Finger);
+
+// ---- Convolution dispatch crossover fixtures --------------------------------
+// These sweep the kernel length at a fixed signal length for each sample-type
+// combination; the per-type kernel thresholds in dsp/fast_convolve.h are set
+// where the Fft variant overtakes the Direct one on these curves (see
+// docs/performance.md for the measured numbers).
+
+void BM_ConvolveRealDirect(benchmark::State& state) {
+  Rng rng(20);
+  const auto h_len = static_cast<std::size_t>(state.range(0));
+  RealVec x(16384), h(h_len);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto& v : h) v = rng.gaussian();
+  const dsp::FastConvolveGuard guard(false);
+  for (auto _ : state) {
+    auto y = dsp::convolve(x, h);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveRealDirect)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_ConvolveRealFft(benchmark::State& state) {
+  Rng rng(20);
+  const auto h_len = static_cast<std::size_t>(state.range(0));
+  RealVec x(16384), h(h_len);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto& v : h) v = rng.gaussian();
+  dsp::FftWorkspace ws;
+  for (auto _ : state) {
+    RealVec y;  // fresh result like the production dispatch; ws stays warm
+    dsp::ols_convolve(x, h, y, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveRealFft)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_ConvolveCplxRealDirect(benchmark::State& state) {
+  Rng rng(21);
+  const auto h_len = static_cast<std::size_t>(state.range(0));
+  CplxVec x(16384);
+  RealVec h(h_len);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto& v : h) v = rng.gaussian();
+  const dsp::FastConvolveGuard guard(false);
+  for (auto _ : state) {
+    auto y = dsp::convolve(x, h);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveCplxRealDirect)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(1024);
+
+void BM_ConvolveCplxRealFft(benchmark::State& state) {
+  Rng rng(21);
+  const auto h_len = static_cast<std::size_t>(state.range(0));
+  CplxVec x(16384);
+  RealVec h(h_len);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto& v : h) v = rng.gaussian();
+  dsp::FftWorkspace ws;
+  for (auto _ : state) {
+    CplxVec y;  // fresh result like the production dispatch; ws stays warm
+    dsp::ols_convolve(x, h, y, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveCplxRealFft)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(1024);
+
+void BM_CorrelateCplxDirect(benchmark::State& state) {
+  Rng rng(22);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  CplxVec x(16384), tmpl(m);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto& v : tmpl) v = rng.cgaussian();
+  const dsp::FastConvolveGuard guard(false);
+  for (auto _ : state) {
+    auto y = dsp::correlate(x, tmpl);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size() - m + 1));
+}
+BENCHMARK(BM_CorrelateCplxDirect)->Arg(16)->Arg(32)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_CorrelateCplxFft(benchmark::State& state) {
+  Rng rng(22);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  CplxVec x(16384), tmpl(m);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto& v : tmpl) v = rng.cgaussian();
+  dsp::FftWorkspace ws;
+  for (auto _ : state) {
+    CplxVec y;  // fresh result like the production dispatch; ws stays warm
+    dsp::ols_correlate(x, tmpl, y, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size() - m + 1));
+}
+BENCHMARK(BM_CorrelateCplxFft)->Arg(16)->Arg(32)->Arg(64)->Arg(512)->Arg(4096);
 
 }  // namespace
 

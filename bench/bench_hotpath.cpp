@@ -1,0 +1,145 @@
+// Hot-path throughput bench: end-to-end packets/sec for gen-1 and gen-2
+// link trials across CM0-CM4, measured twice from the same binary -- once
+// with the direct O(N*M) convolution kernels (the pre-fast-path baseline,
+// via dsp::set_fast_convolve_enabled(false)) and once with the overlap-save
+// FFT dispatch enabled. Both numbers land in bench/results/BENCH_hotpath.json
+// so the speedup trajectory accumulates PR over PR (CI runs this in fast
+// mode and uploads the JSON as an artifact).
+//
+// Both passes replay identical trial streams (Rng forks of the same root),
+// so the packets differ only in which convolution kernel executed.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dsp/fast_convolve.h"
+#include "sim/scenario.h"
+#include "txrx/link.h"
+
+namespace {
+
+using namespace uwb;
+
+struct HotpathRow {
+  std::string gen;
+  std::string channel;
+  std::size_t trials = 0;
+  double baseline_pps = 0.0;
+  double fast_pps = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return baseline_pps > 0.0 ? fast_pps / baseline_pps : 0.0;
+  }
+};
+
+std::string channel_name(int cm) { return cm == 0 ? "AWGN" : "CM" + std::to_string(cm); }
+
+/// Runs \p trials deterministic packets and returns packets/sec.
+template <typename TrialFn>
+double packets_per_sec(std::size_t trials, uint64_t seed, TrialFn&& run_trial) {
+  const Rng root(seed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng trial_rng = root.fork(i);
+    run_trial(trial_rng);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count() > 0.0 ? static_cast<double>(trials) / elapsed.count() : 0.0;
+}
+
+HotpathRow measure_gen2(int cm, std::size_t trials, uint64_t seed) {
+  txrx::Gen2Link link(sim::gen2_nominal(), seed);
+  txrx::Gen2LinkOptions options;
+  options.cm = cm;
+  options.ebn0_db = 14.0;
+
+  HotpathRow row{"gen2", channel_name(cm), trials, 0.0, 0.0};
+  auto trial = [&](Rng& rng) { (void)link.run_packet(options, rng); };
+  {
+    const dsp::FastConvolveGuard direct(false);
+    row.baseline_pps = packets_per_sec(trials, seed, trial);
+  }
+  {
+    const dsp::FastConvolveGuard fast(true);
+    row.fast_pps = packets_per_sec(trials, seed, trial);
+  }
+  return row;
+}
+
+HotpathRow measure_gen1(int cm, std::size_t trials, uint64_t seed) {
+  txrx::Gen1Link link(sim::gen1_nominal(), seed);
+  txrx::Gen1LinkOptions options;
+  options.cm = cm;
+  options.ebn0_db = 14.0;
+
+  HotpathRow row{"gen1", channel_name(cm), trials, 0.0, 0.0};
+  auto trial = [&](Rng& rng) { (void)link.run_packet(options, rng); };
+  {
+    const dsp::FastConvolveGuard direct(false);
+    row.baseline_pps = packets_per_sec(trials, seed, trial);
+  }
+  {
+    const dsp::FastConvolveGuard fast(true);
+    row.fast_pps = packets_per_sec(trials, seed, trial);
+  }
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<HotpathRow>& rows) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n  \"bench\": \"hotpath\",\n";
+  out << "  \"fast_mode\": " << (bench::fast_mode() ? "true" : "false") << ",\n";
+  out << "  \"unit\": \"packets_per_sec\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const HotpathRow& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"gen\": \"%s\", \"channel\": \"%s\", \"trials\": %zu, "
+                  "\"baseline_pps\": %.3f, \"fast_pps\": %.3f, \"speedup\": %.2f}%s\n",
+                  r.gen.c_str(), r.channel.c_str(), r.trials, r.baseline_pps, r.fast_pps,
+                  r.speedup(), i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = 0x407;
+  bench::print_header("HOTPATH", "packets/sec, direct kernels vs FFT fast path", seed);
+
+  const std::size_t gen2_trials = bench::fast_mode() ? 2 : 6;
+  const std::size_t gen1_trials = bench::fast_mode() ? 1 : 3;
+
+  std::vector<HotpathRow> rows;
+  for (int cm = 0; cm <= 4; ++cm) {
+    rows.push_back(measure_gen2(cm, gen2_trials, seed + static_cast<uint64_t>(cm)));
+    std::printf("  gen2 %-5s  %8.2f -> %8.2f pkt/s  (%.1fx)\n", rows.back().channel.c_str(),
+                rows.back().baseline_pps, rows.back().fast_pps, rows.back().speedup());
+  }
+  for (int cm = 0; cm <= 4; ++cm) {
+    rows.push_back(measure_gen1(cm, gen1_trials, seed + 16 + static_cast<uint64_t>(cm)));
+    std::printf("  gen1 %-5s  %8.2f -> %8.2f pkt/s  (%.1fx)\n", rows.back().channel.c_str(),
+                rows.back().baseline_pps, rows.back().fast_pps, rows.back().speedup());
+  }
+
+  const std::string path = "bench/results/BENCH_hotpath.json";
+  write_json(path, rows);
+  std::printf("\n(results: %s)\n", path.c_str());
+
+  // The acceptance gate this bench tracks: the gen-2 CM3 link trial.
+  for (const auto& r : rows) {
+    if (r.gen == "gen2" && r.channel == "CM3") {
+      std::printf("gen-2 CM3 speedup: %.2fx (target >= 5x)\n", r.speedup());
+    }
+  }
+  return 0;
+}

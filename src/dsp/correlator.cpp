@@ -2,10 +2,17 @@
 
 #include <cmath>
 
+#include "dsp/fast_convolve.h"
+
 namespace uwb::dsp {
 
 CplxVec correlate(const CplxVec& x, const CplxVec& tmpl) {
   if (tmpl.empty() || x.size() < tmpl.size()) return {};
+  if (use_fft_convolve(x.size(), tmpl.size(), ConvKind::kCplxCplx)) {
+    CplxVec out;
+    ols_correlate(x, tmpl, out, thread_fft_workspace());
+    return out;
+  }
   const std::size_t num_lags = x.size() - tmpl.size() + 1;
   CplxVec out(num_lags);
   for (std::size_t k = 0; k < num_lags; ++k) {
@@ -16,6 +23,11 @@ CplxVec correlate(const CplxVec& x, const CplxVec& tmpl) {
 
 RealVec correlate(const RealVec& x, const RealVec& tmpl) {
   if (tmpl.empty() || x.size() < tmpl.size()) return {};
+  if (use_fft_convolve(x.size(), tmpl.size(), ConvKind::kRealReal)) {
+    RealVec out;
+    ols_correlate(x, tmpl, out, thread_fft_workspace());
+    return out;
+  }
   const std::size_t num_lags = x.size() - tmpl.size() + 1;
   RealVec out(num_lags);
   for (std::size_t k = 0; k < num_lags; ++k) {

@@ -12,6 +12,8 @@ namespace uwb::dsp {
 /// Cross-correlation of \p x against template \p tmpl at every lag where the
 /// template fully overlaps: out[k] = sum_i x[k+i] * conj(tmpl[i]),
 /// k in [0, |x| - |tmpl|]. Empty if the template is longer than the signal.
+/// Large x*tmpl products auto-dispatch to overlap-save FFT correlation
+/// (see dsp/fast_convolve.h); short templates stay on the direct kernel.
 CplxVec correlate(const CplxVec& x, const CplxVec& tmpl);
 
 /// Real-valued version.

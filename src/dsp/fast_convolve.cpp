@@ -1,0 +1,162 @@
+#include "dsp/fast_convolve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <type_traits>
+
+#include "common/math_utils.h"
+#include "dsp/fft.h"
+
+namespace uwb::dsp {
+
+namespace {
+
+std::atomic<bool> g_fast_enabled{true};
+
+inline cplx to_cplx(double v) noexcept { return {v, 0.0}; }
+inline cplx to_cplx(const cplx& v) noexcept { return v; }
+
+/// Picks the overlap-save FFT size for a kernel of \p h_len taps and a
+/// result of \p out_len samples: a single full-size transform when the
+/// whole job fits in a modest block, otherwise a block about 4x the kernel
+/// so ~3/4 of every transform produces valid output.
+std::size_t pick_fft_size(std::size_t h_len, std::size_t out_len) {
+  const std::size_t full = next_pow2(out_len);
+  const std::size_t block = std::max<std::size_t>(1024, next_pow2(4 * h_len));
+  return std::min(full, block);
+}
+
+/// Core overlap-save loop: full linear convolution of \p x with the
+/// \p h_len-tap kernel the caller staged into ws.kernel_fft[0..h_len).
+/// Valid block outputs are handed to \p store(full_index, value).
+template <typename TX, typename StoreFn>
+void ols_run(const std::vector<TX>& x, std::size_t h_len, StoreFn&& store,
+             FftWorkspace& ws) {
+  const std::size_t x_len = x.size();
+  const std::size_t out_len = x_len + h_len - 1;
+  const std::size_t n = pick_fft_size(h_len, out_len);
+  const std::size_t hop = n - h_len + 1;  // valid outputs per block
+  const FftPlan& plan = fft_plan(n);
+
+  // Kernel spectrum (zero stale bytes past the staged taps).
+  ws.kernel_fft.resize(n, cplx{});
+  std::fill(ws.kernel_fft.begin() + static_cast<std::ptrdiff_t>(h_len),
+            ws.kernel_fft.end(), cplx{});
+  plan.forward(ws.kernel_fft.data());
+
+  ws.block.resize(n);
+  for (std::size_t s = 0; s < out_len; s += hop) {
+    // Outputs [s, s+hop) need input indices [s - (h_len-1), s - (h_len-1) + n).
+    const std::ptrdiff_t i0 =
+        static_cast<std::ptrdiff_t>(s) - static_cast<std::ptrdiff_t>(h_len - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::ptrdiff_t i = i0 + static_cast<std::ptrdiff_t>(j);
+      ws.block[j] = (i >= 0 && i < static_cast<std::ptrdiff_t>(x_len))
+                        ? to_cplx(x[static_cast<std::size_t>(i)])
+                        : cplx{};
+    }
+    plan.forward(ws.block.data());
+    for (std::size_t k = 0; k < n; ++k) ws.block[k] *= ws.kernel_fft[k];
+    plan.inverse(ws.block.data());
+    const std::size_t count = std::min(hop, out_len - s);
+    for (std::size_t t = 0; t < count; ++t) store(s + t, ws.block[h_len - 1 + t]);
+  }
+}
+
+/// Shared prologue for the convolve overloads: stage the kernel, size the
+/// output, run the block loop writing out[i] = project(block value).
+template <typename TX, typename TH, typename TY>
+void ols_convolve_impl(const std::vector<TX>& x, const std::vector<TH>& h,
+                       std::vector<TY>& out, FftWorkspace& ws) {
+  if (x.empty() || h.empty()) {
+    out.clear();
+    return;
+  }
+  out.resize(x.size() + h.size() - 1);
+  ws.kernel_fft.resize(std::max(ws.kernel_fft.size(), h.size()));
+  for (std::size_t i = 0; i < h.size(); ++i) ws.kernel_fft[i] = to_cplx(h[i]);
+  ols_run(x, h.size(), [&](std::size_t idx, const cplx& v) {
+    if constexpr (std::is_same_v<TY, double>) {
+      out[idx] = v.real();
+    } else {
+      out[idx] = v;
+    }
+  }, ws);
+}
+
+/// Shared prologue for the correlate overloads: correlate(x, t)[k] equals
+/// conv(x, reverse(conj(t)))[k + |t| - 1] over the valid lags.
+template <typename T>
+void ols_correlate_impl(const std::vector<T>& x, const std::vector<T>& tmpl,
+                        std::vector<T>& out, FftWorkspace& ws) {
+  const std::size_t m = tmpl.size();
+  if (m == 0 || x.size() < m) {
+    out.clear();
+    return;
+  }
+  const std::size_t num_lags = x.size() - m + 1;
+  out.resize(num_lags);
+  ws.kernel_fft.resize(std::max(ws.kernel_fft.size(), m));
+  for (std::size_t i = 0; i < m; ++i) ws.kernel_fft[i] = std::conj(to_cplx(tmpl[m - 1 - i]));
+  ols_run(x, m, [&](std::size_t idx, const cplx& v) {
+    if (idx < m - 1) return;  // partial-overlap prefix of the full convolution
+    const std::size_t lag = idx - (m - 1);
+    if (lag >= num_lags) return;
+    if constexpr (std::is_same_v<T, double>) {
+      out[lag] = v.real();
+    } else {
+      out[lag] = v;
+    }
+  }, ws);
+}
+
+}  // namespace
+
+FftWorkspace& thread_fft_workspace() {
+  thread_local FftWorkspace ws;
+  return ws;
+}
+
+void set_fast_convolve_enabled(bool enabled) noexcept {
+  g_fast_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool fast_convolve_enabled() noexcept {
+  return g_fast_enabled.load(std::memory_order_relaxed);
+}
+
+bool use_fft_convolve(std::size_t x_len, std::size_t h_len, ConvKind kind) noexcept {
+  if (!fast_convolve_enabled()) return false;
+  if (x_len == 0 || h_len == 0) return false;
+  std::size_t min_kernel = kFftMinKernelCplxCplx;
+  switch (kind) {
+    case ConvKind::kRealReal: min_kernel = kFftMinKernelRealReal; break;
+    case ConvKind::kCplxReal: min_kernel = kFftMinKernelCplxReal; break;
+    case ConvKind::kCplxCplx: min_kernel = kFftMinKernelCplxCplx; break;
+  }
+  const std::size_t kernel = std::min(x_len, h_len);
+  if (kernel < min_kernel) return false;
+  return x_len * h_len >= kFftMinProduct;
+}
+
+void ols_convolve(const RealVec& x, const RealVec& h, RealVec& out, FftWorkspace& ws) {
+  ols_convolve_impl(x, h, out, ws);
+}
+
+void ols_convolve(const CplxVec& x, const RealVec& h, CplxVec& out, FftWorkspace& ws) {
+  ols_convolve_impl(x, h, out, ws);
+}
+
+void ols_convolve(const CplxVec& x, const CplxVec& h, CplxVec& out, FftWorkspace& ws) {
+  ols_convolve_impl(x, h, out, ws);
+}
+
+void ols_correlate(const RealVec& x, const RealVec& tmpl, RealVec& out, FftWorkspace& ws) {
+  ols_correlate_impl(x, tmpl, out, ws);
+}
+
+void ols_correlate(const CplxVec& x, const CplxVec& tmpl, CplxVec& out, FftWorkspace& ws) {
+  ols_correlate_impl(x, tmpl, out, ws);
+}
+
+}  // namespace uwb::dsp

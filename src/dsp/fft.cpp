@@ -1,51 +1,105 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_utils.h"
 
 namespace uwb::dsp {
 
-namespace {
+// ---------------------------------------------------------------- FftPlan ----
 
-/// Bit-reversal permutation, then iterative Cooley-Tukey butterflies.
-/// \p inverse selects the conjugate twiddles (normalization done by caller).
-void transform(CplxVec& x, bool inverse) {
-  const std::size_t n = x.size();
-  detail::require(is_pow2(n), "fft: length must be a power of two");
-  // Bit-reversal reorder.
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  detail::require(is_pow2(n), "FftPlan: length must be a power of two");
+
+  rev_.resize(n);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
+    rev_[i] = static_cast<std::uint32_t>(j);
   }
-  // Butterflies.
+
+  // Forward twiddles exp(-2 pi i k / len) for every stage, concatenated:
+  // len = 2 contributes 1 entry, len = 4 two entries, ... (n - 1 total).
+  twiddle_.reserve(n > 1 ? n - 1 : 0);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
-    const cplx wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = x[i + k];
-        const cplx v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
+    const double ang = -two_pi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double a = ang * static_cast<double>(k);
+      twiddle_.emplace_back(std::cos(a), std::sin(a));
     }
   }
 }
 
-}  // namespace
+void FftPlan::run(cplx* x, bool inverse) const noexcept {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  std::size_t tw = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const cplx* w = twiddle_.data() + tw;
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx wk = inverse ? std::conj(w[k]) : w[k];
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + half] * wk;
+        x[i + k] = u + v;
+        x[i + k + half] = u - v;
+      }
+    }
+    tw += half;
+  }
+}
 
-void fft_inplace(CplxVec& x) { transform(x, false); }
+void FftPlan::forward(cplx* x) const noexcept { run(x, false); }
+
+void FftPlan::inverse(cplx* x) const noexcept {
+  run(x, true);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] *= inv_n;
+}
+
+void FftPlan::forward(CplxVec& x) const {
+  detail::require(x.size() == n_, "FftPlan::forward: buffer/plan size mismatch");
+  forward(x.data());
+}
+
+void FftPlan::inverse(CplxVec& x) const {
+  detail::require(x.size() == n_, "FftPlan::inverse: buffer/plan size mismatch");
+  inverse(x.data());
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  detail::require(is_pow2(n), "fft_plan: length must be a power of two");
+  // Plans are never evicted, so returned references stay valid; the map
+  // lives for the process lifetime and holds one immutable plan per size.
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
+      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = (*cache)[n];
+  if (slot == nullptr) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+// ----------------------------------------------------------- free helpers ----
+
+void fft_inplace(CplxVec& x) {
+  detail::require(is_pow2(x.size()), "fft: length must be a power of two");
+  fft_plan(x.size()).forward(x.data());
+}
 
 void ifft_inplace(CplxVec& x) {
-  transform(x, true);
-  const double inv_n = 1.0 / static_cast<double>(x.size());
-  for (auto& v : x) v *= inv_n;
+  detail::require(is_pow2(x.size()), "fft: length must be a power of two");
+  fft_plan(x.size()).inverse(x.data());
 }
 
 CplxVec fft(const CplxVec& x, std::size_t n) {

@@ -2,12 +2,60 @@
 /// \file fft.h
 /// \brief Iterative radix-2 FFT used by the spectral monitor, PSD estimation
 ///        and fast convolution. Self-contained (no external FFT library).
+///
+/// Two layers:
+///   - FftPlan: precomputed twiddle factors + bit-reversal table for one
+///     transform size, executing in place into caller-owned buffers so
+///     repeated transforms of the same size allocate nothing. Plans are
+///     immutable after construction and safe to share across threads.
+///   - fft_plan(n): a process-wide, thread-safe, per-size plan cache. The
+///     hot path (overlap-save convolution, per-packet spectral monitoring)
+///     pays the twiddle/bit-reversal setup exactly once per size.
+///
+/// The legacy free functions (fft_inplace, fft, ifft, fft_convolve) remain
+/// and route through the cache.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/types.h"
 
 namespace uwb::dsp {
+
+/// A precomputed radix-2 FFT of one fixed power-of-two size.
+///
+/// The plan owns its twiddle-factor and bit-reversal tables; execute calls
+/// are const, allocation-free, and re-entrant, so a single cached plan can
+/// serve every worker thread of a parallel sweep concurrently.
+class FftPlan {
+ public:
+  /// Builds tables for length \p n (power of two, >= 1).
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT of \p x[0..size()). No allocation.
+  void forward(cplx* x) const noexcept;
+
+  /// In-place inverse DFT of \p x[0..size()), including the 1/N scale.
+  void inverse(cplx* x) const noexcept;
+
+  /// Vector conveniences; \p x.size() must equal size().
+  void forward(CplxVec& x) const;
+  void inverse(CplxVec& x) const;
+
+ private:
+  void run(cplx* x, bool inverse) const noexcept;
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> rev_;  ///< bit-reversal permutation
+  CplxVec twiddle_;                 ///< forward twiddles, stages concatenated
+};
+
+/// The process-wide plan cache: returns the shared immutable plan for
+/// length \p n (power of two), constructing it on first use. Thread-safe;
+/// the returned reference stays valid for the lifetime of the process.
+const FftPlan& fft_plan(std::size_t n);
 
 /// In-place forward FFT. \p x must have power-of-two length.
 void fft_inplace(CplxVec& x);

@@ -1,11 +1,15 @@
 #include "dsp/fir_filter.h"
 
+#include <algorithm>
+
+#include "dsp/fast_convolve.h"
+
 namespace uwb::dsp {
 
 namespace {
 
 template <typename TX, typename TH, typename TY>
-std::vector<TY> convolve_impl(const std::vector<TX>& x, const std::vector<TH>& h) {
+std::vector<TY> convolve_direct(const std::vector<TX>& x, const std::vector<TH>& h) {
   if (x.empty() || h.empty()) return {};
   std::vector<TY> y(x.size() + h.size() - 1, TY{});
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -16,26 +20,45 @@ std::vector<TY> convolve_impl(const std::vector<TX>& x, const std::vector<TH>& h
   return y;
 }
 
+/// Extracts the "same"-mode window in place: shifts the kept samples to the
+/// front of the full-convolution buffer and truncates, so no second vector
+/// is allocated or copied.
 template <typename TY>
 std::vector<TY> take_same(std::vector<TY> full, std::size_t x_len, std::size_t h_len) {
   const std::size_t start = (h_len - 1) / 2;
-  std::vector<TY> out(x_len);
-  for (std::size_t i = 0; i < x_len; ++i) out[i] = full[start + i];
-  return out;
+  std::move(full.begin() + static_cast<std::ptrdiff_t>(start),
+            full.begin() + static_cast<std::ptrdiff_t>(start + x_len), full.begin());
+  full.resize(x_len);
+  return full;
 }
 
 }  // namespace
 
 RealVec convolve(const RealVec& x, const RealVec& h) {
-  return convolve_impl<double, double, double>(x, h);
+  if (use_fft_convolve(x.size(), h.size(), ConvKind::kRealReal)) {
+    RealVec out;
+    ols_convolve(x, h, out, thread_fft_workspace());
+    return out;
+  }
+  return convolve_direct<double, double, double>(x, h);
 }
 
 CplxVec convolve(const CplxVec& x, const RealVec& h) {
-  return convolve_impl<cplx, double, cplx>(x, h);
+  if (use_fft_convolve(x.size(), h.size(), ConvKind::kCplxReal)) {
+    CplxVec out;
+    ols_convolve(x, h, out, thread_fft_workspace());
+    return out;
+  }
+  return convolve_direct<cplx, double, cplx>(x, h);
 }
 
 CplxVec convolve(const CplxVec& x, const CplxVec& h) {
-  return convolve_impl<cplx, cplx, cplx>(x, h);
+  if (use_fft_convolve(x.size(), h.size(), ConvKind::kCplxCplx)) {
+    CplxVec out;
+    ols_convolve(x, h, out, thread_fft_workspace());
+    return out;
+  }
+  return convolve_direct<cplx, cplx, cplx>(x, h);
 }
 
 RealVec convolve_same(const RealVec& x, const RealVec& h) {

@@ -62,8 +62,9 @@ class FirFilter {
   std::size_t pos_ = 0;
 };
 
-/// Full linear convolution y = x * h (length |x|+|h|-1), direct form.
-/// Prefer fft_convolve for long kernels.
+/// Full linear convolution y = x * h (length |x|+|h|-1). Auto-dispatches:
+/// short kernels run the direct form, large x*h products go through
+/// overlap-save FFT convolution (see dsp/fast_convolve.h for the policy).
 RealVec convolve(const RealVec& x, const RealVec& h);
 
 /// Full linear convolution for complex signal with real kernel.

@@ -53,11 +53,14 @@ ChannelEstimate ChannelEstimator::estimate(const CplxWaveform& x, const CplxVec&
   for (const auto& v : tmpl) tmpl_energy += std::norm(v);
   detail::require(tmpl_energy > 0.0, "ChannelEstimator: zero-energy template");
 
-  est.raw_taps.resize(num_lags);
-  for (std::size_t lag = 0; lag < num_lags; ++lag) {
-    est.raw_taps[lag] =
-        dsp::dot_conj(x.samples().data() + start + lag, tmpl.data(), tmpl.size()) / tmpl_energy;
-  }
+  // One sliding correlation over the estimation window: dsp::correlate
+  // dispatches long preamble templates to overlap-save FFT correlation
+  // instead of num_lags independent O(|tmpl|) dot products.
+  const auto first = x.samples().begin() + static_cast<std::ptrdiff_t>(start);
+  const CplxVec window(first,
+                       first + static_cast<std::ptrdiff_t>(num_lags + tmpl.size() - 1));
+  est.raw_taps = dsp::correlate(window, tmpl);
+  for (auto& tap : est.raw_taps) tap /= tmpl_energy;
 
   // Strongest path defines the scaling reference.
   const std::size_t peak = dsp::argmax_abs(est.raw_taps);

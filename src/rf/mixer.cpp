@@ -37,7 +37,9 @@ CplxWaveform Downconverter::process(const RealWaveform& rf) const {
         -2.0 * x * std::sin(t + imp_.phase_imbalance_rad) * gain_q_ + imp_.dc_offset_q;
     mixed[i] = {i_rail, q_rail};
   }
-  // Post-mix lowpass removes the 2 fc image.
+  // Post-mix lowpass removes the 2 fc image. The long LPF over an RF-rate
+  // capture is the mixer's dominant cost; dsp::convolve_same dispatches it
+  // to overlap-save FFT convolution (see dsp/fast_convolve.h).
   return CplxWaveform(dsp::convolve_same(mixed, lpf_), fs_);
 }
 

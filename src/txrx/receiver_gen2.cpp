@@ -1,5 +1,6 @@
 #include "txrx/receiver_gen2.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "adc/quantizer.h"
@@ -27,6 +28,19 @@ Gen2Receiver::Gen2Receiver(const Gen2Config& config, Rng& rng)
                   "Gen2Receiver: analog rate must be >= ADC rate");
   detail::require(config.adc_rate >= config.prf_hz,
                   "Gen2Receiver: ADC rate must cover the PRF");
+  payload_mod_ = phy::make_modulator(config_.modulation, config_.prf_hz);
+  payload_mod_prf_hz_ = config_.prf_hz;
+}
+
+const phy::Modulator& Gen2Receiver::payload_modulator() {
+  // PPM bakes the position offset from the PRF, so the PRF is part of the
+  // staleness key alongside the scheme.
+  if (payload_mod_ == nullptr || payload_mod_->scheme() != config_.modulation ||
+      payload_mod_prf_hz_ != config_.prf_hz) {
+    payload_mod_ = phy::make_modulator(config_.modulation, config_.prf_hz);
+    payload_mod_prf_hz_ = config_.prf_hz;
+  }
+  return *payload_mod_;
 }
 
 CplxWaveform Gen2Receiver::analog_chain(const CplxWaveform& rx, double noise_variance,
@@ -66,7 +80,7 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
   }
 
   // ---- Acquisition + channel estimation -----------------------------------
-  const CplxVec preamble_tmpl = tx.preamble_template_adc();
+  const CplxVec& preamble_tmpl = tx.preamble_template_adc();
   if (adc_out.size() < preamble_tmpl.size() + 16) {
     return result;  // capture too short; not acquired
   }
@@ -80,15 +94,27 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
   result.acquired = true;
 
   // ---- Matched filter ------------------------------------------------------
-  const RealVec pulse_taps = tx.pulse_taps_adc();
-  CplxVec pulse_tmpl(pulse_taps.size());
-  for (std::size_t i = 0; i < pulse_taps.size(); ++i) pulse_tmpl[i] = cplx(pulse_taps[i], 0.0);
-  CplxWaveform y(dsp::correlate(adc_out.samples(), pulse_tmpl), config_.adc_rate);
+  // Template from the transmitter actually passed in (same contract as
+  // before the cache); promotion to complex happens only when the tap
+  // values changed. The value compare is O(|pulse|) -- tens of samples --
+  // against a correlation that is O(|capture| log), so it is free.
+  const RealVec& pulse_taps = tx.pulse_taps_adc();
+  const bool tmpl_stale =
+      pulse_tmpl_adc_.size() != pulse_taps.size() ||
+      !std::equal(pulse_taps.begin(), pulse_taps.end(), pulse_tmpl_adc_.begin(),
+                  [](double t, const cplx& c) { return c.real() == t && c.imag() == 0.0; });
+  if (tmpl_stale) {
+    pulse_tmpl_adc_.resize(pulse_taps.size());
+    for (std::size_t i = 0; i < pulse_taps.size(); ++i) {
+      pulse_tmpl_adc_[i] = cplx(pulse_taps[i], 0.0);
+    }
+  }
+  CplxWaveform y(dsp::correlate(adc_out.samples(), pulse_tmpl_adc_), config_.adc_rate);
 
   // ---- Symbol bookkeeping --------------------------------------------------
   const std::size_t sps = config_.samples_per_bit_adc();
   const std::size_t t0 = result.timing_offset;
-  const auto payload_mod = phy::make_modulator(config_.modulation, config_.prf_hz);
+  const phy::Modulator& payload_mod = payload_modulator();
   const std::size_t overhead_symbols = tx_reference.overhead_symbols;
   const std::size_t payload_symbols = tx_reference.payload_symbols;
   const std::size_t total_symbols = overhead_symbols + payload_symbols;
@@ -189,7 +215,7 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
       }
     }
     result.payload_soft = soft_pay;  // outer FEC decoders want the soft stream
-    decoded_body = payload_mod->demap(soft_pay);
+    decoded_body = payload_mod.demap(soft_pay);
   }
 
   // ---- Error accounting -------------------------------------------------------

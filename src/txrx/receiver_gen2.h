@@ -5,6 +5,7 @@
 ///        end -- acquisition, channel estimation (quantized taps), RAKE,
 ///        Viterbi (MLSE) demodulation, spectral monitoring.
 
+#include <memory>
 #include <optional>
 
 #include "adc/sampling.h"
@@ -75,6 +76,11 @@ class Gen2Receiver {
   [[nodiscard]] CplxWaveform analog_chain(const CplxWaveform& rx, double noise_variance,
                                           Rng& rng);
 
+  /// The payload demapper for the *current* config_.modulation. Cached; the
+  /// instance is rebuilt only when mutable_config() changed the scheme
+  /// between packets (the paper's per-packet QoS knob).
+  [[nodiscard]] const phy::Modulator& payload_modulator();
+
   Gen2Config config_;
   pulse::BandPlan plan_;
   rf::FrontEnd front_end_;
@@ -83,6 +89,13 @@ class Gen2Receiver {
   adc::SarAdc adc_q_;
   estimation::ChannelEstimator estimator_;
   estimation::SpectralMonitor monitor_;
+  // Pulse matched-filter template, promoted to complex from the taps of the
+  // transmitter passed to receive(). Rebuilt only when the tap values
+  // change; the staleness check is a value compare against the (short)
+  // cached taps, so it is safe across transmitter lifetimes.
+  CplxVec pulse_tmpl_adc_;
+  std::unique_ptr<phy::Modulator> payload_mod_;  ///< see payload_modulator()
+  double payload_mod_prf_hz_ = 0.0;              ///< PRF payload_mod_ was built for
 };
 
 }  // namespace uwb::txrx

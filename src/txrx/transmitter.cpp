@@ -24,6 +24,7 @@ Gen1Transmitter::Gen1Transmitter(const Gen1Config& config)
   // processing gain against tones).
   spread_ = phy::to_chips(phy::msequence(config.spread_msequence_degree));
   pn_chips_ = phy::to_chips(phy::msequence(config.preamble_pn_degree));
+  pulse_taps_adc_ = pulse::gaussian_monocycle(config_.pulse_sigma_s, config_.adc_rate).samples();
 }
 
 std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload) const {
@@ -74,16 +75,33 @@ std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload
   return {std::move(wave), std::move(frame)};
 }
 
-RealVec Gen1Transmitter::pulse_taps_adc() const {
-  return pulse::gaussian_monocycle(config_.pulse_sigma_s, config_.adc_rate).samples();
-}
-
 // ---------------------------------------------------------------- Gen-2 ----
 
 Gen2Transmitter::Gen2Transmitter(const Gen2Config& config)
     : config_(config), pulse_(pulse::make_pulse(config.pulse)), framer_(config.packet) {
   detail::require(config.pulse.sample_rate_hz == config.analog_fs,
                   "Gen2Transmitter: pulse spec must be generated at analog_fs");
+
+  // Per-trial hot-path caches: everything below is a pure function of the
+  // config, so it is synthesized once here instead of once per packet.
+  pulse::PulseSpec pspec = config_.pulse;
+  pspec.sample_rate_hz = config_.adc_rate;
+  const RealWaveform pulse_adc = pulse::make_pulse(pspec);
+  pulse_taps_adc_ = pulse_adc.samples();
+
+  const auto sps = static_cast<std::size_t>(config_.adc_rate / config_.prf_hz);
+  const BitVec& pre = framer_.preamble_bits();
+  preamble_tmpl_adc_.assign(sps * pre.size() + pulse_adc.size(), cplx{});
+  for (std::size_t m = 0; m < pre.size(); ++m) {
+    const double w = pre[m] ? -1.0 : 1.0;
+    const std::size_t base = m * sps;
+    for (std::size_t i = 0; i < pulse_adc.size(); ++i) {
+      preamble_tmpl_adc_[base + i] += w * pulse_adc[i];
+    }
+  }
+
+  bpsk_mod_ = phy::make_modulator(phy::Modulation::kBpsk, config_.prf_hz);
+  payload_mod_ = phy::make_modulator(config_.modulation, config_.prf_hz);
 }
 
 std::pair<CplxWaveform, TxFrame> Gen2Transmitter::transmit(const BitVec& payload) const {
@@ -93,8 +111,8 @@ std::pair<CplxWaveform, TxFrame> Gen2Transmitter::transmit(const BitVec& payload
   // correlation); the payload uses the configured modulation.
   const std::size_t overhead_bits =
       pkt.preamble.size() + pkt.sfd.size() + pkt.header.size();
-  const auto bpsk = phy::make_modulator(phy::Modulation::kBpsk, config_.prf_hz);
-  const auto payload_mod = phy::make_modulator(config_.modulation, config_.prf_hz);
+  const phy::Modulator* bpsk = bpsk_mod_.get();
+  const phy::Modulator* payload_mod = payload_mod_.get();
 
   BitVec overhead(pkt.all.begin(), pkt.all.begin() + static_cast<std::ptrdiff_t>(overhead_bits));
   BitVec body(pkt.all.begin() + static_cast<std::ptrdiff_t>(overhead_bits), pkt.all.end());
@@ -155,31 +173,6 @@ RealWaveform Gen2Transmitter::transmit_passband(const CplxWaveform& baseband,
   }
   const rf::Upconverter upc(fc, rf_fs, config_.front_end.iq);
   return upc.process(up);
-}
-
-CplxVec Gen2Transmitter::preamble_template_adc() const {
-  // Clean preamble waveform, regenerated at the ADC rate.
-  const auto sps = static_cast<std::size_t>(config_.adc_rate / config_.prf_hz);
-  pulse::PulseSpec pspec = config_.pulse;
-  pspec.sample_rate_hz = config_.adc_rate;
-  const RealWaveform pulse_adc = pulse::make_pulse(pspec);
-
-  const BitVec& pre = framer_.preamble_bits();
-  CplxVec tmpl(sps * pre.size() + pulse_adc.size(), cplx{});
-  for (std::size_t m = 0; m < pre.size(); ++m) {
-    const double w = pre[m] ? -1.0 : 1.0;
-    const std::size_t base = m * sps;
-    for (std::size_t i = 0; i < pulse_adc.size(); ++i) {
-      tmpl[base + i] += w * pulse_adc[i];
-    }
-  }
-  return tmpl;
-}
-
-RealVec Gen2Transmitter::pulse_taps_adc() const {
-  pulse::PulseSpec pspec = config_.pulse;
-  pspec.sample_rate_hz = config_.adc_rate;
-  return pulse::make_pulse(pspec).samples();
 }
 
 }  // namespace uwb::txrx

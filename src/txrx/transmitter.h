@@ -4,8 +4,11 @@
 ///        waveform (real baseband for gen-1, complex baseband -- optionally
 ///        upconverted to real passband -- for gen-2).
 
+#include <memory>
+
 #include "common/types.h"
 #include "common/waveform.h"
+#include "phy/modulation.h"
 #include "phy/packet.h"
 #include "txrx/transceiver_config.h"
 
@@ -57,7 +60,8 @@ class Gen1Transmitter {
   [[nodiscard]] const RealWaveform& prototype() const noexcept { return pulse_; }
 
   /// The monocycle prototype regenerated at the ADC rate (matched filter).
-  [[nodiscard]] RealVec pulse_taps_adc() const;
+  /// Computed once at construction; per-packet receive paths borrow it.
+  [[nodiscard]] const RealVec& pulse_taps_adc() const noexcept { return pulse_taps_adc_; }
 
  private:
   Gen1Config config_;
@@ -65,6 +69,7 @@ class Gen1Transmitter {
   std::vector<double> spread_;
   std::vector<double> pn_chips_;
   phy::PacketFramer framer_;
+  RealVec pulse_taps_adc_;  ///< matched-filter taps cached at construction
 };
 
 /// Generation-2 transmitter: modulated RRC pulse trains at complex baseband.
@@ -89,16 +94,25 @@ class Gen2Transmitter {
   [[nodiscard]] const phy::PacketFramer& framer() const noexcept { return framer_; }
 
   /// Clean preamble waveform at the ADC rate (the acquisition/channel-
-  /// estimation template).
-  [[nodiscard]] CplxVec preamble_template_adc() const;
+  /// estimation template). Computed once at construction so per-packet
+  /// receive calls never resynthesize it.
+  [[nodiscard]] const CplxVec& preamble_template_adc() const noexcept {
+    return preamble_tmpl_adc_;
+  }
 
-  /// Pulse matched-filter taps at the ADC rate.
-  [[nodiscard]] RealVec pulse_taps_adc() const;
+  /// Pulse matched-filter taps at the ADC rate (cached at construction).
+  [[nodiscard]] const RealVec& pulse_taps_adc() const noexcept { return pulse_taps_adc_; }
 
  private:
   Gen2Config config_;
   RealWaveform pulse_;
   phy::PacketFramer framer_;
+  RealVec pulse_taps_adc_;      ///< matched-filter taps at the ADC rate
+  CplxVec preamble_tmpl_adc_;   ///< clean preamble template at the ADC rate
+  // Modulators are stateless mapping tables; building them per packet was
+  // a measurable share of small-packet transmit time.
+  std::unique_ptr<phy::Modulator> bpsk_mod_;
+  std::unique_ptr<phy::Modulator> payload_mod_;
 };
 
 }  // namespace uwb::txrx

@@ -11,6 +11,7 @@
 #include "dsp/biquad.h"
 #include "dsp/correlator.h"
 #include "dsp/delay_line.h"
+#include "dsp/fast_convolve.h"
 #include "dsp/fft.h"
 #include "dsp/filter_design.h"
 #include "dsp/fir_filter.h"
@@ -97,6 +98,224 @@ TEST(Fft, BinFrequencyMapsNegative) {
   EXPECT_DOUBLE_EQ(bin_frequency(1, 8, 800.0), 100.0);
   EXPECT_DOUBLE_EQ(bin_frequency(7, 8, 800.0), -100.0);
   EXPECT_DOUBLE_EQ(bin_frequency(4, 8, 800.0), -400.0);
+}
+
+// ------------------------------------------------------------- fft plan ----
+
+TEST(FftPlan, CacheReturnsOneSharedPlanPerSize) {
+  const FftPlan& a = fft_plan(256);
+  const FftPlan& b = fft_plan(256);
+  const FftPlan& c = fft_plan(512);
+  EXPECT_EQ(&a, &b);  // same immutable plan object
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(a.size(), 256u);
+  EXPECT_EQ(c.size(), 512u);
+}
+
+TEST(FftPlan, ExecutesInPlaceIntoCallerBuffer) {
+  Rng rng(13);
+  CplxVec x(128);
+  for (auto& v : x) v = rng.cgaussian();
+  CplxVec y = x;
+  const FftPlan& plan = fft_plan(128);
+  plan.forward(y.data());
+  plan.inverse(y.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftPlan, MatchesLegacyFreeFunctions) {
+  Rng rng(14);
+  CplxVec x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  CplxVec via_plan = x;
+  fft_plan(64).forward(via_plan);
+  CplxVec via_free = x;
+  fft_inplace(via_free);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(via_plan[i], via_free[i]);  // same code path, bit-identical
+  }
+}
+
+TEST(FftPlan, RejectsBadSizes) {
+  EXPECT_THROW(FftPlan(96), InvalidArgument);
+  EXPECT_THROW(fft_plan(100), InvalidArgument);
+  CplxVec wrong(32);
+  EXPECT_THROW(fft_plan(64).forward(wrong), InvalidArgument);
+}
+
+// -------------------------------------------------- fft convolve dispatch ----
+
+RealVec random_real(Rng& rng, std::size_t n) {
+  RealVec v(n);
+  for (auto& x : v) x = rng.gaussian();
+  return v;
+}
+
+CplxVec random_cplx(Rng& rng, std::size_t n) {
+  CplxVec v(n);
+  for (auto& x : v) x = rng.cgaussian();
+  return v;
+}
+
+/// Size pairs straddling the dispatch thresholds: short kernels (direct on
+/// both paths), crossover-sized, far above, odd lengths, and h longer
+/// than x.
+const std::pair<std::size_t, std::size_t> kConvSizes[] = {
+    {100, 7}, {1000, 33}, {513, 129}, {4096, 129}, {4097, 255},
+    {257, 513}, {129, 4096}, {2048, 2048}, {1, 1},
+};
+
+TEST(FastConvolve, RealConvolutionMatchesDirect) {
+  Rng rng(40);
+  for (const auto& [nx, nh] : kConvSizes) {
+    const RealVec x = random_real(rng, nx);
+    const RealVec h = random_real(rng, nh);
+    RealVec direct;
+    {
+      const FastConvolveGuard guard(false);
+      direct = convolve(x, h);
+    }
+    // Force the FFT kernel regardless of the threshold.
+    RealVec viafft;
+    FftWorkspace ws;
+    ols_convolve(x, h, viafft, ws);
+    ASSERT_EQ(direct.size(), viafft.size()) << nx << "x" << nh;
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(direct[i], viafft[i], 1e-9) << nx << "x" << nh << " @" << i;
+    }
+  }
+}
+
+TEST(FastConvolve, CplxRealConvolutionMatchesDirect) {
+  Rng rng(41);
+  for (const auto& [nx, nh] : kConvSizes) {
+    const CplxVec x = random_cplx(rng, nx);
+    const RealVec h = random_real(rng, nh);
+    CplxVec direct;
+    {
+      const FastConvolveGuard guard(false);
+      direct = convolve(x, h);
+    }
+    CplxVec viafft;
+    FftWorkspace ws;
+    ols_convolve(x, h, viafft, ws);
+    ASSERT_EQ(direct.size(), viafft.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(std::abs(direct[i] - viafft[i]), 0.0, 1e-9) << nx << "x" << nh;
+    }
+  }
+}
+
+TEST(FastConvolve, CplxConvolutionMatchesDirect) {
+  Rng rng(42);
+  for (const auto& [nx, nh] : kConvSizes) {
+    const CplxVec x = random_cplx(rng, nx);
+    const CplxVec h = random_cplx(rng, nh);
+    CplxVec direct;
+    {
+      const FastConvolveGuard guard(false);
+      direct = convolve(x, h);
+    }
+    CplxVec viafft;
+    FftWorkspace ws;
+    ols_convolve(x, h, viafft, ws);
+    ASSERT_EQ(direct.size(), viafft.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(std::abs(direct[i] - viafft[i]), 0.0, 1e-9) << nx << "x" << nh;
+    }
+  }
+}
+
+TEST(FastConvolve, ConvolveSameAgreesAcrossPolicy) {
+  // Above-threshold sizes so the enabled policy actually takes the FFT path.
+  Rng rng(43);
+  const CplxVec x = random_cplx(rng, 4096);
+  const RealVec h = random_real(rng, 201);
+  CplxVec direct, fast;
+  {
+    const FastConvolveGuard guard(false);
+    direct = convolve_same(x, h);
+  }
+  {
+    const FastConvolveGuard guard(true);
+    fast = convolve_same(x, h);
+  }
+  ASSERT_EQ(direct.size(), x.size());
+  ASSERT_EQ(fast.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(std::abs(direct[i] - fast[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(FastConvolve, CorrelationMatchesDirect) {
+  Rng rng(44);
+  const std::pair<std::size_t, std::size_t> sizes[] = {
+      {500, 32}, {2048, 64}, {4096, 511}, {1023, 1000}, {64, 64},
+  };
+  for (const auto& [nx, nm] : sizes) {
+    const CplxVec x = random_cplx(rng, nx);
+    const CplxVec tmpl = random_cplx(rng, nm);
+    CplxVec direct;
+    {
+      const FastConvolveGuard guard(false);
+      direct = correlate(x, tmpl);
+    }
+    CplxVec viafft;
+    FftWorkspace ws;
+    ols_correlate(x, tmpl, viafft, ws);
+    ASSERT_EQ(direct.size(), viafft.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(std::abs(direct[i] - viafft[i]), 0.0, 1e-9) << nx << "x" << nm;
+    }
+
+    const RealVec xr = random_real(rng, nx);
+    const RealVec tr = random_real(rng, nm);
+    RealVec direct_r;
+    {
+      const FastConvolveGuard guard(false);
+      direct_r = correlate(xr, tr);
+    }
+    RealVec viafft_r;
+    ols_correlate(xr, tr, viafft_r, ws);
+    ASSERT_EQ(direct_r.size(), viafft_r.size());
+    for (std::size_t i = 0; i < direct_r.size(); ++i) {
+      ASSERT_NEAR(direct_r[i], viafft_r[i], 1e-9) << nx << "x" << nm;
+    }
+  }
+}
+
+TEST(FastConvolve, EdgeCasesMatchDirectSemantics) {
+  FftWorkspace ws;
+  RealVec out_r{1.0};
+  ols_convolve(RealVec{}, RealVec{1.0}, out_r, ws);
+  EXPECT_TRUE(out_r.empty());
+  CplxVec out_c{cplx{1.0, 0.0}};
+  ols_convolve(CplxVec{}, RealVec{1.0}, out_c, ws);
+  EXPECT_TRUE(out_c.empty());
+  // Template longer than the signal: correlate defines this as empty.
+  CplxVec out_corr{cplx{1.0, 0.0}};
+  ols_correlate(CplxVec(4, cplx{1.0, 0.0}), CplxVec(9, cplx{1.0, 0.0}), out_corr, ws);
+  EXPECT_TRUE(out_corr.empty());
+  EXPECT_TRUE(correlate(CplxVec(4, cplx{}), CplxVec(9, cplx{})).empty());
+}
+
+TEST(FastConvolve, PolicyTogglesAndRestores) {
+  EXPECT_TRUE(fast_convolve_enabled());  // library default
+  {
+    const FastConvolveGuard guard(false);
+    EXPECT_FALSE(fast_convolve_enabled());
+    EXPECT_FALSE(use_fft_convolve(1u << 20, 1u << 10, ConvKind::kCplxCplx));
+  }
+  EXPECT_TRUE(fast_convolve_enabled());
+  // Below either the kernel or the product floor stays direct.
+  EXPECT_FALSE(use_fft_convolve(1u << 20, 8, ConvKind::kCplxCplx));
+  EXPECT_FALSE(use_fft_convolve(64, 64, ConvKind::kCplxCplx));
+  EXPECT_TRUE(use_fft_convolve(1u << 12, 1u << 10, ConvKind::kCplxCplx));
+  // Real kernels need more taps before the FFT wins than complex ones.
+  EXPECT_FALSE(use_fft_convolve(1u << 12, 64, ConvKind::kRealReal));
+  EXPECT_TRUE(use_fft_convolve(1u << 12, 64, ConvKind::kCplxReal));
 }
 
 // -------------------------------------------------------------- windows ----
