@@ -24,7 +24,7 @@ int main() {
       config.preamble_repetitions = reps;
 
       txrx::Gen1Link link(config, seed + static_cast<uint64_t>(reps * 100 + ebn0));
-      txrx::Gen1LinkOptions options;
+      txrx::TrialOptions options;
       options.ebn0_db = ebn0;
       options.payload_bits = 8;
       options.genie_timing = false;

@@ -23,27 +23,27 @@ int main() {
     config.sar.bits = bits;
     config.use_mlse = false;  // isolate the converter effect
 
-    txrx::Gen2LinkOptions clean;
+    txrx::TrialOptions clean;
     clean.payload_bits = 300;
     clean.ebn0_db = ebn0;
     clean.run_spectral_monitor = false;
 
-    txrx::Gen2LinkOptions jammed = clean;
+    txrx::TrialOptions jammed = clean;
     jammed.interferer = true;
     jammed.interferer_sir_db = -15.0;
     jammed.interferer_freq_hz = 140e6;
     jammed.run_spectral_monitor = true;
 
-    txrx::Gen2LinkOptions defended = jammed;
+    txrx::TrialOptions defended = jammed;
     defended.auto_notch = true;  // the paper's mitigation path: monitor + notch
 
     const auto stop = bench::stop_rule(40, 80000);
     txrx::Gen2Link link_a(config, seed + static_cast<uint64_t>(bits));
     txrx::Gen2Link link_b(config, seed + static_cast<uint64_t>(bits));
     txrx::Gen2Link link_c(config, seed + static_cast<uint64_t>(bits));
-    const sim::BerPoint p_clean = bench::gen2_ber(link_a, clean, stop);
-    const sim::BerPoint p_raw = bench::gen2_ber(link_b, jammed, stop);
-    const sim::BerPoint p_def = bench::gen2_ber(link_c, defended, stop);
+    const sim::BerPoint p_clean = bench::link_ber(link_a, clean, stop);
+    const sim::BerPoint p_raw = bench::link_ber(link_b, jammed, stop);
+    const sim::BerPoint p_def = bench::link_ber(link_c, defended, stop);
 
     std::string penalty = "--";
     if (p_clean.ber > 0.0 && p_def.ber > 0.0) {

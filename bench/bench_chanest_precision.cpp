@@ -22,14 +22,14 @@ int main() {
     txrx::Gen2Config config = sim::gen2_fast();
     config.chanest.quantization_bits = bits;
 
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = 2;
     options.ebn0_db = ebn0;
 
     const auto stop = bench::stop_rule(40, 80000);
     txrx::Gen2Link link(config, seed);  // same seed: same channels per config
-    const sim::BerPoint point = bench::gen2_ber(link, options, stop);
+    const sim::BerPoint point = bench::link_ber(link, options, stop);
     if (bits == 0) float_ber = point.ber;
 
     std::string ratio = "reference";

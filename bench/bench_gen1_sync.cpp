@@ -22,7 +22,7 @@ int main() {
     config.acq_parallelism_stage1 = p1;
 
     txrx::Gen1Link link(config, seed + p1);
-    txrx::Gen1LinkOptions options;
+    txrx::TrialOptions options;
     options.ebn0_db = 18.0;
     options.payload_bits = 8;
     options.genie_timing = false;

@@ -54,7 +54,7 @@ double packets_per_sec(std::size_t trials, uint64_t seed, TrialFn&& run_trial) {
 
 HotpathRow measure_gen2(int cm, std::size_t trials, uint64_t seed) {
   txrx::Gen2Link link(sim::gen2_nominal(), seed);
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.cm = cm;
   options.ebn0_db = 14.0;
 
@@ -73,7 +73,9 @@ HotpathRow measure_gen2(int cm, std::size_t trials, uint64_t seed) {
 
 HotpathRow measure_gen1(int cm, std::size_t trials, uint64_t seed) {
   txrx::Gen1Link link(sim::gen1_nominal(), seed);
-  txrx::Gen1LinkOptions options;
+  // Gen-1 defaults (short genie-timed packets): keeps this workload
+  // comparable with the committed BENCH_hotpath.json trajectory.
+  txrx::TrialOptions options = txrx::default_options(txrx::Generation::kGen1);
   options.cm = cm;
   options.ebn0_db = 14.0;
 

@@ -23,7 +23,7 @@ int main() {
     rake.use_mlse = false;
     txrx::Gen2Config full = sim::gen2_fast();
 
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = cm;
     options.ebn0_db = ebn0;
@@ -32,9 +32,9 @@ int main() {
     txrx::Gen2Link l1(mf, seed + static_cast<uint64_t>(cm));
     txrx::Gen2Link l2(rake, seed + static_cast<uint64_t>(cm));
     txrx::Gen2Link l3(full, seed + static_cast<uint64_t>(cm));
-    const auto p1 = bench::gen2_ber(l1, options, stop);
-    const auto p2 = bench::gen2_ber(l2, options, stop);
-    const auto p3 = bench::gen2_ber(l3, options, stop);
+    const auto p1 = bench::link_ber(l1, options, stop);
+    const auto p2 = bench::link_ber(l2, options, stop);
+    const auto p3 = bench::link_ber(l3, options, stop);
 
     std::string gain = "--";
     if (p3.ber > 0.0 && p2.ber > 0.0) gain = sim::Table::num(p2.ber / p3.ber, 1) + "x";
@@ -50,14 +50,14 @@ int main() {
     txrx::Gen2Config config = sim::gen2_fast();
     config.mlse.memory = memory;
 
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = 4;
     options.ebn0_db = ebn0;
 
     txrx::Gen2Link link(config, seed);
     const auto stop = bench::stop_rule(40, 60000);
-    const auto point = bench::gen2_ber(link, options, stop);
+    const auto point = bench::link_ber(link, options, stop);
     mem_table.add_row({sim::Table::integer(memory), sim::Table::integer(1 << memory),
                        sim::Table::sci(point.ber)});
   }

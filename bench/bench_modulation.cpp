@@ -26,12 +26,12 @@ int main() {
       config.use_mlse = false;
 
       txrx::Gen2Link link(config, seed);
-      txrx::Gen2LinkOptions options;
+      txrx::TrialOptions options;
       options.payload_bits = 400;
       options.ebn0_db = ebn0;
 
       const auto stop = bench::stop_rule(40, 100000);
-      row.push_back(sim::Table::sci(bench::gen2_ber(link, options, stop).ber));
+      row.push_back(sim::Table::sci(bench::link_ber(link, options, stop).ber));
     }
     table.add_row(row);
   }

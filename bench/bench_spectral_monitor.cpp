@@ -23,7 +23,7 @@ int main() {
   for (double sir : {10.0, 0.0, -10.0, -20.0}) {
     txrx::Gen2Config config = sim::gen2_fast();
     txrx::Gen2Link link(config, seed + static_cast<uint64_t>(100 + sir));
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 200;
     options.ebn0_db = 12.0;
     options.interferer = true;
@@ -33,7 +33,7 @@ int main() {
     int detected = 0;
     double err_sq = 0.0, pom = 0.0;
     for (int p = 0; p < packets; ++p) {
-      const auto trial = link.run_packet(options);
+      const auto trial = link.run_packet_full(options);
       if (trial.rx.interferer.detected) {
         ++detected;
         const double e = trial.rx.interferer.frequency_hz - true_freq;
@@ -55,14 +55,14 @@ int main() {
   txrx::Gen2Config config = sim::gen2_fast();
   const auto stop = bench::stop_rule(30, 50000);
   {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.ebn0_db = 10.0;
     txrx::Gen2Link link(config, seed);
-    ber.add_row({"clean channel", sim::Table::sci(bench::gen2_ber(link, options, stop).ber)});
+    ber.add_row({"clean channel", sim::Table::sci(bench::link_ber(link, options, stop).ber)});
   }
   {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.ebn0_db = 10.0;
     options.interferer = true;
@@ -70,11 +70,11 @@ int main() {
     options.interferer_freq_hz = true_freq;
     txrx::Gen2Link link(config, seed);
     ber.add_row({"interferer, notch off",
-                 sim::Table::sci(bench::gen2_ber(link, options, stop).ber)});
+                 sim::Table::sci(bench::link_ber(link, options, stop).ber)});
     options.auto_notch = true;
     txrx::Gen2Link link2(config, seed);
     ber.add_row({"interferer, monitor->notch",
-                 sim::Table::sci(bench::gen2_ber(link2, options, stop).ber)});
+                 sim::Table::sci(bench::link_ber(link2, options, stop).ber)});
   }
   std::printf("%s", ber.to_string().c_str());
   std::printf("\nShape check: reliable detection once the tone clears the UWB floor by a\n"

@@ -45,14 +45,14 @@ int main() {
   for (const auto& record : result.records) {
     const std::string rung = record.spec.tag("backend");
     const auto name = rung_names.find(rung);
-    const auto power = txrx::gen2_power(record.spec.gen2);
+    const auto power = txrx::gen2_power(record.spec.link.gen2());
     // The coded rung halves the information rate, doubling energy per
     // information bit at the same transceiver operating point.
-    const double info_scale = record.spec.gen2_options.fec.has_value() ? 2.0 : 1.0;
+    const double info_scale = record.spec.link.options.fec.has_value() ? 2.0 : 1.0;
     table.add_row(
         {name != rung_names.end() ? name->second : rung,
          sim::Table::num(power.total_w() * 1e3, 1) + " mW",
-         sim::Table::num(info_scale * txrx::gen2_energy_per_bit_j(record.spec.gen2) * 1e12,
+         sim::Table::num(info_scale * txrx::gen2_energy_per_bit_j(record.spec.link.gen2()) * 1e12,
                          1) +
              " pJ/b",
          sim::Table::sci(record.ber.ber)});

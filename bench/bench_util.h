@@ -4,6 +4,7 @@
 ///        (scaled down when UWB_BENCH_FAST is set), link-BER helpers, and
 ///        uniform headers so EXPERIMENTS.md can quote outputs verbatim.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,37 +21,30 @@ inline bool fast_mode() {
   return env != nullptr && env[0] == '1';
 }
 
-/// Monte-Carlo stopping rule scaled by the mode.
+/// Monte-Carlo stopping rule scaled by the mode. Fast-mode scaling is
+/// clamped to at least one error / one bit, so callers passing small
+/// budgets still get a working stopping rule rather than a degenerate
+/// min_errors == 0 (stop immediately) or max_bits == 0 one.
 inline sim::BerStop stop_rule(std::size_t min_errors = 40, std::size_t max_bits = 120000) {
   sim::BerStop stop;
   if (fast_mode()) {
-    stop.min_errors = min_errors / 4;
-    stop.max_bits = max_bits / 8;
+    stop.min_errors = std::max<std::size_t>(1, min_errors / 4);
+    stop.max_bits = std::max<std::size_t>(1, max_bits / 8);
   } else {
-    stop.min_errors = min_errors;
-    stop.max_bits = max_bits;
+    stop.min_errors = std::max<std::size_t>(1, min_errors);
+    stop.max_bits = std::max<std::size_t>(1, max_bits);
   }
   stop.max_trials = 100000;
   return stop;
 }
 
-/// Measures one gen-2 BER point.
-inline sim::BerPoint gen2_ber(txrx::Gen2Link& link, const txrx::Gen2LinkOptions& options,
+/// Measures one BER point of any link (gen-1 or gen-2) on the link's own
+/// RNG -- the sequential helper for benches not yet on the sweep engine.
+inline sim::BerPoint link_ber(txrx::Link& link, const txrx::TrialOptions& options,
                               const sim::BerStop& stop) {
   return sim::measure_ber(
       [&]() {
-        const auto trial = link.run_packet(options);
-        return sim::TrialOutcome{trial.bits, trial.errors};
-      },
-      stop);
-}
-
-/// Measures one gen-1 BER point.
-inline sim::BerPoint gen1_ber(txrx::Gen1Link& link, const txrx::Gen1LinkOptions& options,
-                              const sim::BerStop& stop) {
-  return sim::measure_ber(
-      [&]() {
-        const auto trial = link.run_packet(options);
+        const txrx::TrialResult trial = link.run_packet(options);
         return sim::TrialOutcome{trial.bits, trial.errors};
       },
       stop);

@@ -25,7 +25,7 @@ using namespace uwb;
 /// The adapter's rung written as a scenario variant, so the sweep measures
 /// exactly the configurations the controller switches between.
 engine::Gen2Variant rung_variant(const sim::AdaptationDecision& decision) {
-  return {decision.rung, [decision](txrx::Gen2Config& config, txrx::Gen2LinkOptions&) {
+  return {decision.rung, [decision](txrx::Gen2Config& config, txrx::TrialOptions&) {
             sim::LinkAdapter::apply(decision, config);
           }};
 }
@@ -59,12 +59,12 @@ int main() {
     std::printf("\n>> %s\n", phase.name);
     std::size_t bits = 0, errors = 0;
     for (int p = 0; p < phase.packets; ++p) {
-      txrx::Gen2LinkOptions options;
+      txrx::TrialOptions options;
       options.payload_bits = 200;
       options.cm = phase.cm;
       options.ebn0_db = phase.ebn0_db;
 
-      const auto trial = link.run_packet(options);
+      const auto trial = link.run_packet_full(options);
       bits += trial.bits;
       errors += trial.errors;
 
@@ -90,7 +90,7 @@ int main() {
   // adapter is implicitly walking.
   std::printf("\nRung value per environment (parallel sweep engine):\n\n");
 
-  txrx::Gen2LinkOptions base_options;
+  txrx::TrialOptions base_options;
   base_options.payload_bits = 200;
 
   // The rung axis comes straight from the controller's own ladder, so the
@@ -104,12 +104,12 @@ int main() {
   builder.description("LinkAdapter ladder rungs measured in the demo's environments")
       .axis("environment",
             {{"CM1@24dB",
-              [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+              [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                 o.cm = 1;
                 o.ebn0_db = 24.0;
               }},
              {"CM4@14dB",
-              [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+              [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                 o.cm = 4;
                 o.ebn0_db = 14.0;
               }}})

@@ -23,7 +23,7 @@ int main() {
 
   // --- Acquisition: pulse-level PN preamble, massively parallel search ----
   txrx::Gen1Link link(config, /*seed=*/7);
-  txrx::Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.ebn0_db = 18.0;
   options.payload_bits = 16;
   options.genie_timing = false;
@@ -39,7 +39,7 @@ int main() {
 
   // --- Data transfer at 193 kbps ------------------------------------------
   std::printf("\nLink at %.0f kbps, Eb/N0 = 12 dB:\n", config.bit_rate_hz() / 1e3);
-  txrx::Gen1LinkOptions data_options;
+  txrx::TrialOptions data_options;
   data_options.ebn0_db = 12.0;
   data_options.payload_bits = 64;
   data_options.genie_timing = true;

@@ -12,7 +12,7 @@
 
 namespace {
 
-uwb::sim::BerPoint measure(uwb::txrx::Gen2Link& link, const uwb::txrx::Gen2LinkOptions& options) {
+uwb::sim::BerPoint measure(uwb::txrx::Gen2Link& link, const uwb::txrx::TrialOptions& options) {
   uwb::sim::BerStop stop;
   stop.min_errors = 20;
   stop.max_bits = 40000;
@@ -54,7 +54,7 @@ int main() {
   std::printf("\nBER at 100 Mbps, Eb/N0 = 14 dB, RAKE(8) + MLSE(8 states):\n");
   for (int cm = 0; cm <= 4; ++cm) {
     txrx::Gen2Link link(config, 0x51000 + static_cast<uint64_t>(cm));
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = cm;
     options.ebn0_db = 14.0;
@@ -68,7 +68,7 @@ int main() {
     txrx::Gen2Config cfg = config;
     cfg.rake.num_fingers = fingers;
     txrx::Gen2Link link(cfg, 0x52000);
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = 3;
     options.ebn0_db = 14.0;

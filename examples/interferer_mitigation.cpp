@@ -13,7 +13,7 @@
 
 namespace {
 
-uwb::sim::BerPoint measure(uwb::txrx::Gen2Link& link, const uwb::txrx::Gen2LinkOptions& options) {
+uwb::sim::BerPoint measure(uwb::txrx::Gen2Link& link, const uwb::txrx::TrialOptions& options) {
   uwb::sim::BerStop stop;
   stop.min_errors = 25;
   stop.max_bits = 50000;
@@ -32,16 +32,16 @@ int main() {
 
   txrx::Gen2Config config = sim::gen2_fast();
 
-  txrx::Gen2LinkOptions clean;
+  txrx::TrialOptions clean;
   clean.payload_bits = 300;
   clean.ebn0_db = 10.0;
 
-  txrx::Gen2LinkOptions jammed = clean;
+  txrx::TrialOptions jammed = clean;
   jammed.interferer = true;
   jammed.interferer_sir_db = -15.0;   // jammer 15 dB ABOVE the signal
   jammed.interferer_freq_hz = 130e6;  // offset from the channel center
 
-  txrx::Gen2LinkOptions defended = jammed;
+  txrx::TrialOptions defended = jammed;
   defended.auto_notch = true;         // monitor drives the RF notch
 
   std::printf("Narrowband interferer mitigation (SIR = %.0f dB, offset %.0f MHz)\n",
@@ -62,7 +62,7 @@ int main() {
 
   // Show one packet's monitor report.
   txrx::Gen2Link probe(config, 0xA1);
-  const auto trial = probe.run_packet(defended);
+  const auto trial = probe.run_packet_full(defended);
   std::printf("\nmonitor report: detected=%s, f = %.1f MHz (true 130.0), peak/median %.1f dB, "
               "notch %s\n",
               trial.rx.interferer.detected ? "yes" : "no",

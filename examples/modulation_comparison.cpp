@@ -38,7 +38,7 @@ int main() {
     config.use_mlse = false;  // plain correlator demod for a fair comparison
 
     txrx::Gen2Link link(config, 0xD15C);
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 400;
     options.ebn0_db = ebn0_db;
 

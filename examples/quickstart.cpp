@@ -22,12 +22,12 @@ int main() {
   // mismatch drawn once) and a seeded RNG: everything is reproducible.
   txrx::Gen2Link link(config, /*seed=*/42);
 
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 256;
   options.cm = 1;          // 802.15.3a CM1: 0-4 m line of sight
   options.ebn0_db = 14.0;  // comfortable operating point
 
-  const txrx::Gen2TrialResult trial = link.run_packet(options);
+  const txrx::Gen2TrialResult trial = link.run_packet_full(options);
 
   std::printf("Gen-2 UWB quickstart (paper: Blazquez et al., DATE 2005)\n");
   std::printf("--------------------------------------------------------\n");

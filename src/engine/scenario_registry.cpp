@@ -8,38 +8,19 @@
 
 namespace uwb::engine {
 
-namespace {
+namespace builder_detail {
 
-std::string format_number(double v) {
+std::string format_axis_number(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%g", v);
   return buf;
 }
 
-std::string channel_name(int cm) { return cm == 0 ? "AWGN" : "CM" + std::to_string(cm); }
-
-/// Row-major cartesian product over axes, shared by both builders.
-template <typename Variant>
-std::vector<std::vector<const Variant*>> expand_axes(
-    const std::vector<std::pair<std::string, std::vector<Variant>>>& axes) {
-  std::vector<std::vector<const Variant*>> grid{{}};
-  for (const auto& [axis_name, variants] : axes) {
-    (void)axis_name;
-    std::vector<std::vector<const Variant*>> next;
-    next.reserve(grid.size() * variants.size());
-    for (const auto& row : grid) {
-      for (const auto& variant : variants) {
-        auto extended = row;
-        extended.push_back(&variant);
-        next.push_back(std::move(extended));
-      }
-    }
-    grid = std::move(next);
-  }
-  return grid;
+std::string channel_axis_name(int cm) {
+  return cm == 0 ? "AWGN" : "CM" + std::to_string(cm);
 }
 
-std::string join_label(const std::vector<std::pair<std::string, std::string>>& tags) {
+std::string join_axis_label(const std::vector<std::pair<std::string, std::string>>& tags) {
   std::string label;
   for (const auto& [key, value] : tags) {
     (void)key;
@@ -49,7 +30,7 @@ std::string join_label(const std::vector<std::pair<std::string, std::string>>& t
   return label;
 }
 
-}  // namespace
+}  // namespace builder_detail
 
 // ----------------------------------------------------------- PointSpec ----
 
@@ -60,124 +41,48 @@ std::string PointSpec::tag(const std::string& key) const {
   return {};
 }
 
-// -------------------------------------------------- Gen2ScenarioBuilder ----
+// ---------------------------------------------------- restrict_scenario ----
 
-Gen2ScenarioBuilder::Gen2ScenarioBuilder(std::string name, txrx::Gen2Config base,
-                                         txrx::Gen2LinkOptions base_options)
-    : name_(std::move(name)), base_(base), base_options_(base_options) {}
-
-Gen2ScenarioBuilder& Gen2ScenarioBuilder::description(std::string text) {
-  description_ = std::move(text);
-  return *this;
-}
-
-Gen2ScenarioBuilder& Gen2ScenarioBuilder::channels(std::vector<int> cms) {
-  std::vector<Gen2Variant> variants;
-  variants.reserve(cms.size());
-  for (int cm : cms) {
-    variants.push_back({channel_name(cm), [cm](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
-                          o.cm = cm;
-                        }});
-  }
-  return axis("channel", std::move(variants));
-}
-
-Gen2ScenarioBuilder& Gen2ScenarioBuilder::ebn0_grid(std::vector<double> ebn0_db) {
-  std::vector<Gen2Variant> variants;
-  variants.reserve(ebn0_db.size());
-  for (double db : ebn0_db) {
-    variants.push_back(
-        {format_number(db), [db](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
-           o.ebn0_db = db;
-         }});
-  }
-  return axis("ebn0_db", std::move(variants));
-}
-
-Gen2ScenarioBuilder& Gen2ScenarioBuilder::axis(std::string axis_name,
-                                               std::vector<Gen2Variant> variants) {
-  detail::require(!variants.empty(), "scenario axis '" + axis_name + "' has no variants");
-  axes_.emplace_back(std::move(axis_name), std::move(variants));
-  return *this;
-}
-
-ScenarioSpec Gen2ScenarioBuilder::build() const {
-  ScenarioSpec spec;
-  spec.name = name_;
-  spec.description = description_;
-  for (const auto& row : expand_axes(axes_)) {
-    PointSpec point;
-    point.gen = Generation::kGen2;
-    point.gen2 = base_;
-    point.gen2_options = base_options_;
-    for (std::size_t a = 0; a < row.size(); ++a) {
-      row[a]->apply(point.gen2, point.gen2_options);
-      point.tags.emplace_back(axes_[a].first, row[a]->name);
+void restrict_scenario(ScenarioSpec& scenario, const std::string& axis,
+                       const std::string& values) {
+  detail::require(!axis.empty(), "scenario override: empty axis name");
+  bool axis_known = false;
+  for (const auto& point : scenario.points) {
+    for (const auto& [key, value] : point.tags) {
+      (void)value;
+      if (key == axis) {
+        axis_known = true;
+        break;
+      }
     }
-    point.label = join_label(point.tags);
-    spec.points.push_back(std::move(point));
+    if (axis_known) break;
   }
-  return spec;
-}
+  detail::require(axis_known, "scenario '" + scenario.name + "' has no axis '" + axis +
+                                  "' (override '" + axis + "=" + values + "')");
 
-// -------------------------------------------------- Gen1ScenarioBuilder ----
-
-Gen1ScenarioBuilder::Gen1ScenarioBuilder(std::string name, txrx::Gen1Config base,
-                                         txrx::Gen1LinkOptions base_options)
-    : name_(std::move(name)), base_(base), base_options_(base_options) {}
-
-Gen1ScenarioBuilder& Gen1ScenarioBuilder::description(std::string text) {
-  description_ = std::move(text);
-  return *this;
-}
-
-Gen1ScenarioBuilder& Gen1ScenarioBuilder::channels(std::vector<int> cms) {
-  std::vector<Gen1Variant> variants;
-  variants.reserve(cms.size());
-  for (int cm : cms) {
-    variants.push_back({channel_name(cm), [cm](txrx::Gen1Config&, txrx::Gen1LinkOptions& o) {
-                          o.cm = cm;
-                        }});
+  std::vector<std::string> wanted;
+  std::string::size_type start = 0;
+  while (start <= values.size()) {
+    const auto comma = values.find(',', start);
+    const auto end = comma == std::string::npos ? values.size() : comma;
+    wanted.push_back(values.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  return axis("channel", std::move(variants));
-}
 
-Gen1ScenarioBuilder& Gen1ScenarioBuilder::ebn0_grid(std::vector<double> ebn0_db) {
-  std::vector<Gen1Variant> variants;
-  variants.reserve(ebn0_db.size());
-  for (double db : ebn0_db) {
-    variants.push_back(
-        {format_number(db), [db](txrx::Gen1Config&, txrx::Gen1LinkOptions& o) {
-           o.ebn0_db = db;
-         }});
-  }
-  return axis("ebn0_db", std::move(variants));
-}
-
-Gen1ScenarioBuilder& Gen1ScenarioBuilder::axis(std::string axis_name,
-                                               std::vector<Gen1Variant> variants) {
-  detail::require(!variants.empty(), "scenario axis '" + axis_name + "' has no variants");
-  axes_.emplace_back(std::move(axis_name), std::move(variants));
-  return *this;
-}
-
-ScenarioSpec Gen1ScenarioBuilder::build() const {
-  ScenarioSpec spec;
-  spec.name = name_;
-  spec.description = description_;
-  for (const auto& row : expand_axes(axes_)) {
-    PointSpec point;
-    point.gen = Generation::kGen1;
-    point.gen1 = base_;
-    point.gen1_options = base_options_;
-    for (std::size_t a = 0; a < row.size(); ++a) {
-      row[a]->apply(point.gen1, point.gen1_options);
-      point.tags.emplace_back(axes_[a].first, row[a]->name);
+  std::vector<PointSpec> kept;
+  for (auto& point : scenario.points) {
+    const std::string value = point.tag(axis);
+    for (const auto& w : wanted) {
+      if (value == w) {
+        kept.push_back(std::move(point));
+        break;
+      }
     }
-    point.label = join_label(point.tags);
-    spec.points.push_back(std::move(point));
   }
-  return spec;
+  detail::require(!kept.empty(), "scenario '" + scenario.name + "': no point has " + axis +
+                                     " in '" + values + "'");
+  scenario.points = std::move(kept);
 }
 
 // ----------------------------------------------------- ScenarioRegistry ----
@@ -188,15 +93,15 @@ namespace {
 /// bench loop. Kept as factories so config structs are built on demand.
 void register_builtins(ScenarioRegistry& registry) {
   registry.add("gen2_cm_grid", [] {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     Gen2ScenarioBuilder builder("gen2_cm_grid", sim::gen2_fast(), options);
     builder.description("gen-2 100 Mbps link across CM0-CM4: full back end vs matched filter")
         .channels({0, 1, 2, 3, 4})
         .ebn0_grid({8.0, 12.0, 16.0})
         .axis("backend",
-              {{"full", [](txrx::Gen2Config&, txrx::Gen2LinkOptions&) {}},
-               {"mf_only", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+              {{"full", [](txrx::Gen2Config&, txrx::TrialOptions&) {}},
+               {"mf_only", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.use_rake = false;
                   c.use_mlse = false;
                 }}});
@@ -204,7 +109,7 @@ void register_builtins(ScenarioRegistry& registry) {
   });
 
   registry.add("gen1_waterfall", [] {
-    txrx::Gen1LinkOptions options;
+    txrx::TrialOptions options = txrx::default_options(Generation::kGen1);
     options.payload_bits = 48;
     options.genie_timing = true;
     Gen1ScenarioBuilder builder("gen1_waterfall", sim::gen1_fast(), options);
@@ -214,7 +119,7 @@ void register_builtins(ScenarioRegistry& registry) {
   });
 
   registry.add("gen2_backend_ladder", [] {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = 3;
     options.ebn0_db = 14.0;
@@ -223,34 +128,34 @@ void register_builtins(ScenarioRegistry& registry) {
         .description("power/complexity/QoS reconfiguration ladder on CM3 at 14 dB")
         .axis("backend",
               {{"minimal",
-                [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.rake.num_fingers = 2;
                   c.use_mlse = false;
                   c.mlse.memory = 1;
                   c.sar.bits = 3;
                 }},
                {"low",
-                [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.rake.num_fingers = 4;
                   c.use_mlse = false;
                   c.mlse.memory = 1;
                   c.sar.bits = 4;
                 }},
                {"nominal",
-                [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.rake.num_fingers = 8;
                   c.use_mlse = true;
                   c.mlse.memory = 3;
                   c.sar.bits = 5;
                 }},
                {"maximal",
-                [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.rake.num_fingers = 16;
                   c.use_mlse = true;
                   c.mlse.memory = 5;
                   c.sar.bits = 6;
                 }},
-               {"coded", [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+               {"coded", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                   o.payload_bits = 200;
                   o.fec = fec::k7_rate_half();
                 }}});
@@ -258,7 +163,7 @@ void register_builtins(ScenarioRegistry& registry) {
   });
 
   registry.add("gen2_interferer_notch", [] {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     options.cm = 1;
     options.ebn0_db = 12.0;
@@ -268,41 +173,63 @@ void register_builtins(ScenarioRegistry& registry) {
     builder
         .description("CW interferer vs the spectral-monitor-driven notch on CM1 at 12 dB")
         .axis("sir_db",
-              {{"0", [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) { o.interferer_sir_db = 0.0; }},
-               {"-10", [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+              {{"0", [](txrx::Gen2Config&, txrx::TrialOptions& o) { o.interferer_sir_db = 0.0; }},
+               {"-10", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                   o.interferer_sir_db = -10.0;
                 }}})
-        .axis("notch", {{"off", [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+        .axis("notch", {{"off", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                            o.auto_notch = false;
                          }},
-                        {"auto", [](txrx::Gen2Config&, txrx::Gen2LinkOptions& o) {
+                        {"auto", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
                            o.auto_notch = true;
                          }}});
     return builder.build();
   });
 
   registry.add("gen2_modulation", [] {
-    txrx::Gen2LinkOptions options;
+    txrx::TrialOptions options;
     options.payload_bits = 300;
     Gen2ScenarioBuilder builder("gen2_modulation", sim::gen2_fast(), options);
     builder.description("modulation formats on AWGN (RAKE soft path, MLSE off)")
         .axis("modulation",
-              {{"bpsk", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+              {{"bpsk", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kBpsk;
                 }},
-               {"ook", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+               {"ook", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kOok;
                   c.use_mlse = false;
                 }},
-               {"ppm", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+               {"ppm", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kPpm;
                   c.use_mlse = false;
                 }},
-               {"pam4", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+               {"pam4", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kPam4;
                   c.use_mlse = false;
                 }}})
         .ebn0_grid({8.0, 12.0, 16.0});
+    return builder.build();
+  });
+
+  registry.add("gen2_rake_fingers", [] {
+    // E7's BER half: finger count vs BER on CM2 at 12 dB (selective RAKE +
+    // MLSE), the knee that makes a programmable finger count a power knob.
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.cm = 2;
+    options.ebn0_db = 12.0;
+    Gen2ScenarioBuilder builder("gen2_rake_fingers", sim::gen2_fast(), options);
+    builder.description("RAKE finger count vs BER on CM2 at 12 dB (selective RAKE + MLSE)")
+        .axis("fingers", [] {
+          std::vector<Gen2Variant> variants;
+          for (std::size_t fingers : {1u, 2u, 4u, 8u, 16u}) {
+            variants.push_back({std::to_string(fingers),
+                                [fingers](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                                  c.rake.num_fingers = fingers;
+                                }});
+          }
+          return variants;
+        }());
     return builder.build();
   });
 }

@@ -1,54 +1,17 @@
 #include "engine/sinks.h"
 
 #include <cinttypes>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
 #include "common/error.h"
+#include "io/json.h"
+#include "io/result_io.h"
 #include "sim/table.h"
 
 namespace uwb::engine {
 
 namespace {
-
-/// Shortest round-trip representation: integers stay integers ("0.01"
-/// instead of scientific clutter where possible), and identical doubles
-/// always render to identical text (the determinism the sinks promise).
-std::string json_number(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Trim to the shortest form that still round-trips.
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string csv_escape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -125,30 +88,27 @@ JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
 void JsonSink::point(const PointRecord& record) { records_.push_back(record); }
 
 void JsonSink::end(const SweepInfo& info) {
-  std::ofstream out = open_for_write(path_);
-  out << "{\n";
-  out << "  \"scenario\": \"" << json_escape(info.scenario) << "\",\n";
-  out << "  \"seed\": " << info.seed << ",\n";
-  out << "  \"stop\": {\"min_errors\": " << info.stop.min_errors
-      << ", \"max_bits\": " << info.stop.max_bits
-      << ", \"max_trials\": " << info.stop.max_trials << "},\n";
-  out << "  \"points\": [\n";
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const auto& record = records_[i];
-    out << "    {\"index\": " << record.index << ", \"label\": \""
-        << json_escape(record.spec.label) << "\", \"tags\": {";
-    for (std::size_t t = 0; t < record.spec.tags.size(); ++t) {
-      if (t > 0) out << ", ";
-      out << "\"" << json_escape(record.spec.tags[t].first) << "\": \""
-          << json_escape(record.spec.tags[t].second) << "\"";
-    }
-    out << "}, \"ber\": " << json_number(record.ber.ber)
-        << ", \"ci95\": " << json_number(record.ber.ci95)
-        << ", \"errors\": " << record.ber.errors << ", \"bits\": " << record.ber.bits
-        << ", \"trials\": " << record.ber.trials << "}";
-    out << (i + 1 < records_.size() ? ",\n" : "\n");
+  // The sink serializes through the shared io::ResultDoc formatter so the
+  // CLI's shard-merge path reproduces this layout byte for byte.
+  io::ResultDoc doc;
+  doc.scenario = info.scenario;
+  doc.seed = info.seed;
+  doc.stop = info.stop;
+  doc.points.reserve(records_.size());
+  for (const auto& record : records_) {
+    io::ResultPoint point;
+    point.index = record.index;
+    point.label = record.spec.label;
+    point.tags = record.spec.tags;
+    point.ber = io::format_double(record.ber.ber);
+    point.ci95 = io::format_double(record.ber.ci95);
+    point.errors = record.ber.errors;
+    point.bits = record.ber.bits;
+    point.trials = record.ber.trials;
+    doc.points.push_back(std::move(point));
   }
-  out << "  ]\n}\n";
+  std::ofstream out = open_for_write(path_);
+  out << io::write_result_json(doc);
   detail::require(out.good(), "JsonSink: write to '" + path_ + "' failed");
 }
 
@@ -175,8 +135,9 @@ void CsvSink::end(const SweepInfo& info) {
       (void)key;
       out << "," << csv_escape(value);
     }
-    out << "," << json_number(record.ber.ber) << "," << json_number(record.ber.ci95) << ","
-        << record.ber.errors << "," << record.ber.bits << "," << record.ber.trials << "\n";
+    out << "," << io::format_double(record.ber.ber) << ","
+        << io::format_double(record.ber.ci95) << "," << record.ber.errors << ","
+        << record.ber.bits << "," << record.ber.trials << "\n";
   }
   detail::require(out.good(), "CsvSink: write to '" + path_ + "' failed");
 }

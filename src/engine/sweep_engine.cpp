@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/error.h"
 #include "txrx/link.h"
 
 namespace uwb::engine {
@@ -17,19 +18,10 @@ constexpr uint64_t kLinkSeedSalt = 1;
 /// worker its own link (links are not safe for concurrent trials), all
 /// built from the same seed so the simulated hardware is identical.
 TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed) {
-  if (spec.gen == Generation::kGen2) {
-    return [&spec, link_seed]() -> TrialFn {
-      auto link = std::make_shared<txrx::Gen2Link>(spec.gen2, link_seed);
-      return [&spec, link](Rng& rng) {
-        const auto trial = link->run_packet(spec.gen2_options, rng);
-        return sim::TrialOutcome{trial.bits, trial.errors};
-      };
-    };
-  }
   return [&spec, link_seed]() -> TrialFn {
-    auto link = std::make_shared<txrx::Gen1Link>(spec.gen1, link_seed);
+    std::shared_ptr<txrx::Link> link = txrx::make_link(spec.link, link_seed);
     return [&spec, link](Rng& rng) {
-      const auto trial = link->run_packet(spec.gen1_options, rng);
+      const txrx::TrialResult trial = link->run_packet(spec.link.options, rng);
       return sim::TrialOutcome{trial.bits, trial.errors};
     };
   };
@@ -52,10 +44,27 @@ const PointRecord* SweepResult::find(
   return nullptr;
 }
 
-SweepEngine::SweepEngine(SweepConfig config) : config_(config) {}
+SweepEngine::SweepEngine(SweepConfig config) : config_(config) {
+  detail::require(config_.shard_count >= 1, "SweepEngine: shard_count must be >= 1");
+  detail::require(config_.shard_index < config_.shard_count,
+                  "SweepEngine: shard_index must be < shard_count");
+}
 
 SweepResult SweepEngine::run(const ScenarioSpec& scenario,
                              const std::vector<ResultSink*>& sinks) {
+  // Fail fast on a bad plan (e.g. a hand-written spec asking gen-1 for an
+  // interferer): every point is validated before any trial runs, so an
+  // invalid late point cannot discard hours of completed work mid-sweep.
+  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    try {
+      txrx::validate_spec(scenario.points[p].link);
+    } catch (const Error& e) {
+      throw InvalidArgument("scenario '" + scenario.name + "' point " +
+                            std::to_string(p) + " ('" + scenario.points[p].label +
+                            "'): " + e.what());
+    }
+  }
+
   SweepResult result;
   result.info.scenario = scenario.name;
   result.info.seed = config_.seed;
@@ -69,8 +78,10 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
 
   // Points run one after another; the pool parallelizes the trials inside
   // each point. That keeps sink delivery in plan order and makes every
-  // point's result an independent pure function of (seed, point_index).
+  // point's result an independent pure function of (seed, point_index) --
+  // including under sharding, which only skips points and never re-indexes.
   for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    if (p % config_.shard_count != config_.shard_index) continue;
     const PointSpec& spec = scenario.points[p];
     const Rng point_root = sweep_root.fork(p);
     const Rng trial_root = point_root.fork(kTrialStreamSalt);

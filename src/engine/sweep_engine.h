@@ -11,12 +11,18 @@
 ///   trial_root  = point_root.fork(0)    -> trial i uses trial_root.fork(i)
 ///   link_seed   = point_root.fork(1)    -> per-worker link construction
 ///
-/// Every worker builds its own link from (point config, link_seed), so all
-/// workers see identical hardware mismatch, and each trial draws all of its
-/// randomness from trial_root.fork(trial_index). Outcomes commit in trial
-/// order under the BerStop rule (see parallel_ber.h), so the measured
-/// BerPoints -- and any JSON/CSV the sinks write -- are byte-identical
-/// whether the sweep ran on 1 worker or 64.
+/// Every worker builds its own link from (point spec, link_seed) through
+/// txrx::make_link, so all workers see identical hardware mismatch, and
+/// each trial draws all of its randomness from trial_root.fork(trial_index).
+/// Outcomes commit in trial order under the BerStop rule (see
+/// parallel_ber.h), so the measured BerPoints -- and any JSON/CSV the sinks
+/// write -- are byte-identical whether the sweep ran on 1 worker or 64.
+///
+/// Sharding rides on the same contract: point_index above is always the
+/// point's *global* position in the plan, so shard i of N (running points
+/// p with p % N == i) measures exactly what the unsharded sweep measures
+/// for those points. Merging the shards' records (sorted by index)
+/// reproduces the unsharded sweep byte for byte -- see io/result_io.h.
 
 #include <cstdint>
 #include <vector>
@@ -33,9 +39,17 @@ struct SweepConfig {
   uint64_t seed = 0x5eed'0000'cafe'f00dULL;
   std::size_t workers = 0;  ///< 0 = hardware concurrency
   sim::BerStop stop;
+
+  /// Process-level sharding: run only the points whose global index is
+  /// congruent to shard_index mod shard_count. Seeding stays keyed on the
+  /// global index, so N shards together reproduce the unsharded sweep
+  /// exactly. The default 0/1 runs everything.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
-/// A completed sweep: the metadata plus every point's record in plan order.
+/// A completed sweep: the metadata plus every measured point's record in
+/// plan order (a shard's records keep their global indices).
 struct SweepResult {
   SweepInfo info;
   std::vector<PointRecord> records;
@@ -52,7 +66,8 @@ class SweepEngine {
 
   [[nodiscard]] const SweepConfig& config() const noexcept { return config_; }
 
-  /// Runs every point of \p scenario; sinks receive points in plan order.
+  /// Runs every point of \p scenario (in this config's shard); sinks
+  /// receive points in plan order.
   SweepResult run(const ScenarioSpec& scenario, const std::vector<ResultSink*>& sinks = {});
 
   /// Convenience: expand a registered scenario by name and run it.

@@ -1,0 +1,543 @@
+#include "io/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace uwb::io {
+
+// ------------------------------------------------------------ formatting ----
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    throw InvalidArgument("json: non-finite numbers are not representable");
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest form that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- JsonValue ----
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(double v) { return number_literal(format_double(v)); }
+
+JsonValue JsonValue::number(uint64_t v) { return number_literal(std::to_string(v)); }
+
+JsonValue JsonValue::number(int v) { return number_literal(std::to_string(v)); }
+
+JsonValue JsonValue::number_literal(std::string literal) {
+  detail::require(!literal.empty(), "json: empty number literal");
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.text_ = std::move(literal);
+  return out;
+}
+
+JsonValue JsonValue::string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.text_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  return out;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  return out;
+}
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void require_kind(const JsonValue& v, JsonValue::Kind kind, const char* what) {
+  if (v.kind() != kind) {
+    throw InvalidArgument(std::string("json: expected ") + what + ", found " +
+                          kind_name(v.kind()));
+  }
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  require_kind(*this, Kind::kBool, "bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  require_kind(*this, Kind::kNumber, "number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text_.c_str(), &end);
+  detail::require(end == text_.c_str() + text_.size() && errno != ERANGE,
+                  "json: bad number literal '" + text_ + "'");
+  return v;
+}
+
+uint64_t JsonValue::as_uint64() const {
+  require_kind(*this, Kind::kNumber, "number");
+  detail::require(!text_.empty() && text_[0] != '-',
+                  "json: expected unsigned integer, found '" + text_ + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text_.c_str(), &end, 10);
+  detail::require(end == text_.c_str() + text_.size() && errno != ERANGE,
+                  "json: expected unsigned integer, found '" + text_ + "'");
+  return static_cast<uint64_t>(v);
+}
+
+int64_t JsonValue::as_int64() const {
+  require_kind(*this, Kind::kNumber, "number");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text_.c_str(), &end, 10);
+  detail::require(end == text_.c_str() + text_.size() && errno != ERANGE,
+                  "json: expected integer, found '" + text_ + "'");
+  return static_cast<int64_t>(v);
+}
+
+int JsonValue::as_int() const {
+  const int64_t v = as_int64();
+  detail::require(v >= INT32_MIN && v <= INT32_MAX,
+                  "json: integer out of int range: '" + text_ + "'");
+  return static_cast<int>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  require_kind(*this, Kind::kString, "string");
+  return text_;
+}
+
+const std::string& JsonValue::number_text() const {
+  require_kind(*this, Kind::kNumber, "number");
+  return text_;
+}
+
+const JsonValue::Array& JsonValue::items() const {
+  require_kind(*this, Kind::kArray, "array");
+  return items_;
+}
+
+const JsonValue::Object& JsonValue::members() const {
+  require_kind(*this, Kind::kObject, "object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  require_kind(*this, Kind::kObject, "object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  detail::require(v != nullptr, "json: missing key '" + key + "'");
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  require_kind(*this, Kind::kArray, "array");
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  require_kind(*this, Kind::kObject, "object");
+  detail::require(find(key) == nullptr, "json: duplicate key '" + key + "'");
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+// ---------------------------------------------------------------- parser ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("json parse error at offset " + std::to_string(pos_) + ": " +
+                          what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      JsonValue value = parse_value(depth + 1);
+      if (out.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      out.set(std::move(key), std::move(value));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    // UTF-8 encode (surrogate pairs are not needed by this library's
+    // documents; a lone surrogate is rejected).
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("bad number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number: missing fraction digits");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number: missing exponent digits");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return JsonValue::number_literal(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+// ---------------------------------------------------------------- writer ----
+
+namespace {
+
+void write_compact(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; return;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case JsonValue::Kind::kNumber: out += v.number_text(); return;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out += ", ";
+        first = false;
+        write_compact(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out += ", ";
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\": ";
+        write_compact(value, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+bool is_scalar(const JsonValue& v) {
+  return v.kind() != JsonValue::Kind::kArray && v.kind() != JsonValue::Kind::kObject;
+}
+
+bool all_scalar(const JsonValue::Array& items) {
+  for (const auto& item : items) {
+    if (!is_scalar(item)) return false;
+  }
+  return true;
+}
+
+void write_pretty(const JsonValue& v, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::kArray: {
+      if (v.items().empty() || all_scalar(v.items())) {
+        write_compact(v, out);
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        out += pad_in;
+        write_pretty(v.items()[i], out, indent + 1);
+        if (i + 1 < v.items().size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.members().empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < v.members().size(); ++i) {
+        const auto& [key, value] = v.members()[i];
+        out += pad_in;
+        out += '"';
+        out += json_escape(key);
+        out += "\": ";
+        write_pretty(value, out, indent + 1);
+        if (i + 1 < v.members().size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      return;
+    }
+    default: write_compact(v, out); return;
+  }
+}
+
+}  // namespace
+
+std::string dump_json(const JsonValue& value) {
+  std::string out;
+  write_compact(value, out);
+  return out;
+}
+
+std::string dump_json_pretty(const JsonValue& value) {
+  std::string out;
+  write_pretty(value, out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace uwb::io

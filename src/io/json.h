@@ -1,0 +1,106 @@
+#pragma once
+/// \file json.h
+/// \brief Minimal hand-rolled JSON: an ordered document model, a strict
+///        recursive-descent parser, and a deterministic writer. No external
+///        dependencies, matching the existing sink style.
+///
+/// Two properties the rest of src/io relies on:
+///
+///  * **Ordered objects.** Object members keep insertion/parse order, so
+///    writing a parsed document reproduces the member order of the input.
+///  * **Literal-preserving numbers.** A parsed number keeps its exact
+///    source text and is re-emitted verbatim; numbers created from C++
+///    values are formatted once (shortest round-trip for doubles, plain
+///    decimal for integers) and stay stable from then on. Together these
+///    make write(parse(write(x))) byte-identical to write(x) -- the
+///    property the shard-merge path of the uwb_sweep CLI depends on --
+///    and keep 64-bit seeds exact (a double round trip would not).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uwb::io {
+
+/// One JSON value. Construction goes through the named factories so the
+/// kind is always explicit.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  ///< null
+
+  [[nodiscard]] static JsonValue null();
+  [[nodiscard]] static JsonValue boolean(bool v);
+  [[nodiscard]] static JsonValue number(double v);     ///< shortest round-trip text
+  [[nodiscard]] static JsonValue number(uint64_t v);
+  [[nodiscard]] static JsonValue number(int v);
+  /// Adopts \p literal verbatim (must be a valid JSON number token).
+  [[nodiscard]] static JsonValue number_literal(std::string literal);
+  [[nodiscard]] static JsonValue string(std::string v);
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw InvalidArgument on a kind mismatch (or, for
+  /// the integer accessors, on a number that is not exactly representable).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] uint64_t as_uint64() const;
+  [[nodiscard]] int64_t as_int64() const;
+  [[nodiscard]] int as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// The number's literal text (throws unless kind() == kNumber).
+  [[nodiscard]] const std::string& number_text() const;
+
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& members() const;
+
+  /// Object member by key, or nullptr when absent (throws on non-objects).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member by key; throws InvalidArgument when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  /// Appends to an array (throws on other kinds).
+  void push_back(JsonValue v);
+  /// Appends a member to an object (throws on other kinds; duplicate keys
+  /// are a logic error and throw).
+  void set(std::string key, JsonValue v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string text_;  ///< number literal or string payload
+  Array items_;
+  Object members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). \throws InvalidArgument with offset context on malformed
+/// input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Compact single-line serialization.
+[[nodiscard]] std::string dump_json(const JsonValue& value);
+
+/// Pretty serialization: 2-space indent, one member/element per line,
+/// except empty containers and arrays of scalars, which stay inline.
+[[nodiscard]] std::string dump_json_pretty(const JsonValue& value);
+
+/// Shortest text that round-trips to exactly \p v through strtod -- the
+/// shared number format of every sink and serializer (identical doubles
+/// always render to identical text).
+[[nodiscard]] std::string format_double(double v);
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace uwb::io

@@ -1,0 +1,93 @@
+#include "io/result_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "io/json.h"
+
+namespace uwb::io {
+
+std::string write_result_json(const ResultDoc& doc) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(doc.scenario) << "\",\n";
+  out << "  \"seed\": " << doc.seed << ",\n";
+  out << "  \"stop\": {\"min_errors\": " << doc.stop.min_errors
+      << ", \"max_bits\": " << doc.stop.max_bits
+      << ", \"max_trials\": " << doc.stop.max_trials << "},\n";
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < doc.points.size(); ++i) {
+    const ResultPoint& point = doc.points[i];
+    out << "    {\"index\": " << point.index << ", \"label\": \""
+        << json_escape(point.label) << "\", \"tags\": {";
+    for (std::size_t t = 0; t < point.tags.size(); ++t) {
+      if (t > 0) out << ", ";
+      out << "\"" << json_escape(point.tags[t].first) << "\": \""
+          << json_escape(point.tags[t].second) << "\"";
+    }
+    out << "}, \"ber\": " << point.ber << ", \"ci95\": " << point.ci95
+        << ", \"errors\": " << point.errors << ", \"bits\": " << point.bits
+        << ", \"trials\": " << point.trials << "}";
+    out << (i + 1 < doc.points.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+ResultDoc parse_result_json(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  ResultDoc doc;
+  doc.scenario = root.at("scenario").as_string();
+  doc.seed = root.at("seed").as_uint64();
+  const JsonValue& stop = root.at("stop");
+  doc.stop.min_errors = static_cast<std::size_t>(stop.at("min_errors").as_uint64());
+  doc.stop.max_bits = static_cast<std::size_t>(stop.at("max_bits").as_uint64());
+  doc.stop.max_trials = static_cast<std::size_t>(stop.at("max_trials").as_uint64());
+  for (const JsonValue& p : root.at("points").items()) {
+    ResultPoint point;
+    point.index = p.at("index").as_uint64();
+    point.label = p.at("label").as_string();
+    for (const auto& [key, value] : p.at("tags").members()) {
+      point.tags.emplace_back(key, value.as_string());
+    }
+    point.ber = p.at("ber").number_text();
+    point.ci95 = p.at("ci95").number_text();
+    point.errors = p.at("errors").as_uint64();
+    point.bits = p.at("bits").as_uint64();
+    point.trials = p.at("trials").as_uint64();
+    doc.points.push_back(std::move(point));
+  }
+  return doc;
+}
+
+ResultDoc merge_results(const std::vector<ResultDoc>& shards) {
+  detail::require(!shards.empty(), "merge: no result documents given");
+  ResultDoc merged;
+  merged.scenario = shards.front().scenario;
+  merged.seed = shards.front().seed;
+  merged.stop = shards.front().stop;
+  for (const ResultDoc& shard : shards) {
+    detail::require(shard.scenario == merged.scenario,
+                    "merge: scenario mismatch ('" + shard.scenario + "' vs '" +
+                        merged.scenario + "')");
+    detail::require(shard.seed == merged.seed, "merge: seed mismatch");
+    detail::require(shard.stop.min_errors == merged.stop.min_errors &&
+                        shard.stop.max_bits == merged.stop.max_bits &&
+                        shard.stop.max_trials == merged.stop.max_trials,
+                    "merge: stopping-rule mismatch");
+    merged.points.insert(merged.points.end(), shard.points.begin(), shard.points.end());
+  }
+  std::stable_sort(merged.points.begin(), merged.points.end(),
+                   [](const ResultPoint& a, const ResultPoint& b) {
+                     return a.index < b.index;
+                   });
+  for (std::size_t i = 1; i < merged.points.size(); ++i) {
+    detail::require(merged.points[i].index != merged.points[i - 1].index,
+                    "merge: duplicate point index " +
+                        std::to_string(merged.points[i].index));
+  }
+  return merged;
+}
+
+}  // namespace uwb::io

@@ -1,0 +1,56 @@
+#pragma once
+/// \file result_io.h
+/// \brief The sweep result document: the one JSON layout written by
+///        engine::JsonSink, parsed back by the uwb_sweep CLI, and merged
+///        across shards.
+///
+/// ResultPoint keeps ber/ci95 as their literal JSON text, and
+/// write_result_json is the single formatter both the sink and the merge
+/// path use, so parse -> write reproduces a document byte for byte. That
+/// is what makes "run shard 0/2 and 1/2, merge, compare against the
+/// unsharded run" an exact equality check rather than a fuzzy one.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ber_simulator.h"
+
+namespace uwb::io {
+
+/// One measured point as serialized: axis labels plus the BER counters
+/// (ber/ci95 in literal shortest-round-trip text).
+struct ResultPoint {
+  std::uint64_t index = 0;  ///< global position in the scenario's plan
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::string ber = "0";
+  std::string ci95 = "0";
+  std::uint64_t errors = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t trials = 0;
+};
+
+/// A whole sweep result file.
+struct ResultDoc {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  sim::BerStop stop;
+  std::vector<ResultPoint> points;
+};
+
+/// Serializes \p doc in the canonical sink layout.
+[[nodiscard]] std::string write_result_json(const ResultDoc& doc);
+
+/// Parses a document written by write_result_json (or by hand, same
+/// schema). \throws InvalidArgument on malformed input.
+[[nodiscard]] ResultDoc parse_result_json(const std::string& text);
+
+/// Merges shard documents of one sweep: headers (scenario, seed, stop)
+/// must match, point indices must be disjoint; points are re-sorted by
+/// global index. Merging every shard of a sweep therefore reproduces the
+/// unsharded document byte for byte.
+[[nodiscard]] ResultDoc merge_results(const std::vector<ResultDoc>& shards);
+
+}  // namespace uwb::io

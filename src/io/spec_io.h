@@ -1,0 +1,61 @@
+#pragma once
+/// \file spec_io.h
+/// \brief JSON (de)serialization for the declarative simulation specs:
+///        txrx::TrialOptions, the full Gen1Config/Gen2Config trees,
+///        txrx::LinkSpec, sim::BerStop, and engine::ScenarioSpec.
+///
+/// Every configuration field is serialized (doubles in shortest
+/// round-trip form), so a spec written to a file and loaded back drives a
+/// byte-identical sweep under the same seed -- the contract behind
+/// `uwb_sweep --dump-scenario` / `uwb_sweep --file`. Readers are strict:
+/// an unknown key throws InvalidArgument (typos fail loudly), a missing
+/// key keeps the field's C++ default (hand-written files stay terse).
+
+#include <string>
+
+#include "engine/scenario_registry.h"
+#include "io/json.h"
+#include "sim/ber_simulator.h"
+#include "txrx/link.h"
+
+namespace uwb::io {
+
+// --------------------------------------------------------------- to JSON ----
+
+[[nodiscard]] JsonValue to_json(const txrx::TrialOptions& options);
+[[nodiscard]] JsonValue to_json(const txrx::Gen1Config& config);
+[[nodiscard]] JsonValue to_json(const txrx::Gen2Config& config);
+[[nodiscard]] JsonValue to_json(const txrx::LinkSpec& spec);
+[[nodiscard]] JsonValue to_json(const sim::BerStop& stop);
+[[nodiscard]] JsonValue to_json(const engine::PointSpec& point);
+[[nodiscard]] JsonValue to_json(const engine::ScenarioSpec& scenario);
+
+// ------------------------------------------------------------- from JSON ----
+
+/// \p base supplies the defaults for keys the document omits (pass
+/// txrx::default_options(gen) to honor per-generation defaults, as
+/// link_spec_from_json does).
+[[nodiscard]] txrx::TrialOptions trial_options_from_json(const JsonValue& v,
+                                                         txrx::TrialOptions base = {});
+[[nodiscard]] txrx::Gen1Config gen1_config_from_json(const JsonValue& v);
+[[nodiscard]] txrx::Gen2Config gen2_config_from_json(const JsonValue& v);
+[[nodiscard]] txrx::LinkSpec link_spec_from_json(const JsonValue& v);
+[[nodiscard]] sim::BerStop ber_stop_from_json(const JsonValue& v);
+[[nodiscard]] engine::PointSpec point_spec_from_json(const JsonValue& v);
+[[nodiscard]] engine::ScenarioSpec scenario_from_json(const JsonValue& v);
+
+// ----------------------------------------------------------------- files ----
+
+/// Pretty-printed scenario document.
+[[nodiscard]] std::string scenario_to_json_text(const engine::ScenarioSpec& scenario);
+
+/// Parses a scenario document from text.
+[[nodiscard]] engine::ScenarioSpec scenario_from_json_text(const std::string& text);
+
+/// Writes \p scenario to \p path (parent directories are created).
+void save_scenario_file(const engine::ScenarioSpec& scenario, const std::string& path);
+
+/// Loads a scenario document from \p path.
+[[nodiscard]] engine::ScenarioSpec load_scenario_file(const std::string& path);
+
+}  // namespace uwb::io

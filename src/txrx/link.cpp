@@ -9,16 +9,115 @@
 
 namespace uwb::txrx {
 
+std::string to_string(Generation gen) {
+  return gen == Generation::kGen1 ? "gen1" : "gen2";
+}
+
+TrialOptions default_options(Generation gen) {
+  TrialOptions options;
+  if (gen == Generation::kGen1) {
+    options.payload_bits = 32;
+    options.genie_timing = true;  // BER runs use genie; acquisition runs don't
+  }
+  return options;
+}
+
+namespace {
+
+/// Loud capability check shared by make_link and the gen-1 run paths: a
+/// scenario asking gen-1 for gen-2-only machinery is a bug, not a no-op.
+void require_supported(const LinkCaps& caps, const TrialOptions& options) {
+  if (!caps.supports_interferer) {
+    detail::require(!options.interferer, to_string(caps.generation) +
+                                             " link does not support an interferer");
+  }
+  if (!caps.supports_auto_notch) {
+    detail::require(!options.auto_notch,
+                    to_string(caps.generation) + " link does not support auto_notch");
+  }
+  if (!caps.supports_fec) {
+    detail::require(!options.fec.has_value(),
+                    to_string(caps.generation) + " link does not support an outer FEC");
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- LinkSpec ----
+
+LinkSpec LinkSpec::for_gen1(Gen1Config config) {
+  return for_gen1(std::move(config), default_options(Generation::kGen1));
+}
+
+LinkSpec LinkSpec::for_gen1(Gen1Config config, TrialOptions options) {
+  LinkSpec spec;
+  spec.config = std::move(config);
+  spec.options = std::move(options);
+  return spec;
+}
+
+LinkSpec LinkSpec::for_gen2(Gen2Config config) {
+  return for_gen2(std::move(config), default_options(Generation::kGen2));
+}
+
+LinkSpec LinkSpec::for_gen2(Gen2Config config, TrialOptions options) {
+  LinkSpec spec;
+  spec.config = std::move(config);
+  spec.options = std::move(options);
+  return spec;
+}
+
+LinkCaps generation_caps(Generation gen) {
+  LinkCaps caps;
+  caps.generation = gen;
+  if (gen == Generation::kGen1) {
+    caps.complex_baseband = false;
+    caps.supports_interferer = false;
+    caps.supports_auto_notch = false;
+    caps.supports_fec = false;
+    caps.supports_acquisition_trials = true;
+  } else {
+    caps.complex_baseband = true;
+    caps.supports_interferer = true;
+    caps.supports_auto_notch = true;
+    caps.supports_fec = true;
+    caps.supports_acquisition_trials = false;
+  }
+  return caps;
+}
+
+void validate_spec(const LinkSpec& spec) {
+  require_supported(generation_caps(spec.generation()), spec.options);
+}
+
+std::unique_ptr<Link> make_link(const LinkSpec& spec, uint64_t seed) {
+  validate_spec(spec);  // fail before paying for transmitter/receiver setup
+  if (spec.generation() == Generation::kGen1) {
+    return std::make_unique<Gen1Link>(spec.gen1(), seed);
+  }
+  return std::make_unique<Gen2Link>(spec.gen2(), seed);
+}
+
 // ---------------------------------------------------------------- Gen-2 ----
 
 Gen2Link::Gen2Link(const Gen2Config& config, uint64_t seed)
-    : config_(config), rng_(seed), tx_(config), rx_(config, rng_) {}
-
-Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options) {
-  return run_packet(options, rng_);
+    : Link(seed), config_(config), tx_(config), rx_(config, rng_) {
+  caps_ = generation_caps(Generation::kGen2);
+  caps_.bit_rate_hz = config_.bit_rate_hz();
 }
 
-Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options, Rng& rng) {
+TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng) {
+  const Gen2TrialResult trial = run_packet_full(options, rng);
+  TrialResult out;
+  out.bits = trial.bits;
+  out.errors = trial.errors;
+  out.acquired = trial.rx.acquired;
+  out.rake_energy_capture = trial.rx.rake_energy_capture;
+  out.snr_estimate_db = trial.rx.snr_estimate_db;
+  return out;
+}
+
+Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng) {
   Gen2TrialResult trial;
 
   // Transmit. With an outer code the on-air payload is the codeword.
@@ -113,7 +212,10 @@ Gen2TrialResult Gen2Link::run_packet(const Gen2LinkOptions& options, Rng& rng) {
 // ---------------------------------------------------------------- Gen-1 ----
 
 Gen1Link::Gen1Link(const Gen1Config& config, uint64_t seed)
-    : config_(config), rng_(seed), tx_(config), rx_(config, rng_) {}
+    : Link(seed), config_(config), tx_(config), rx_(config, rng_) {
+  caps_ = generation_caps(Generation::kGen1);
+  caps_.bit_rate_hz = config_.bit_rate_hz();
+}
 
 namespace {
 
@@ -132,11 +234,17 @@ RealWaveform apply_gen1_channel(RealWaveform wave, int cm, channel::Cir* out_cir
 
 }  // namespace
 
-Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options) {
-  return run_packet(options, rng_);
+TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng) {
+  const Gen1TrialResult trial = run_packet_full(options, rng);
+  TrialResult out;
+  out.bits = trial.bits;
+  out.errors = trial.errors;
+  out.acquired = options.genie_timing || trial.rx.acq.acquired;
+  return out;
 }
 
-Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options, Rng& rng) {
+Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng) {
+  require_supported(caps_, options);
   Gen1TrialResult trial;
 
   const BitVec payload = rng.bits(options.payload_bits);
@@ -169,13 +277,14 @@ Gen1TrialResult Gen1Link::run_packet(const Gen1LinkOptions& options, Rng& rng) {
   return trial;
 }
 
-Gen1Link::AcqTrial Gen1Link::run_acquisition(const Gen1LinkOptions& options,
+Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options,
                                              std::size_t tol_samples) {
   return run_acquisition(options, rng_, tol_samples);
 }
 
-Gen1Link::AcqTrial Gen1Link::run_acquisition(const Gen1LinkOptions& options, Rng& rng,
+Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& rng,
                                              std::size_t tol_samples) {
+  require_supported(caps_, options);
   AcqTrial out;
 
   const BitVec payload = rng.bits(options.payload_bits);

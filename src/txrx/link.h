@@ -1,11 +1,21 @@
 #pragma once
 /// \file link.h
-/// \brief End-to-end link simulation: transmitter -> channel (multipath /
-///        interferer / AWGN) -> receiver, with per-packet trial results.
-///        Every BER/acquisition bench drives one of these runners.
+/// \brief The unified link-simulation API: transmitter -> channel (multipath
+///        / interferer / AWGN) -> receiver, with per-packet trial results.
+///
+/// Both of the paper's transceiver generations -- the Section-2 baseband SoC
+/// (Gen1Link) and the Section-3 direct-conversion 100 Mbps chip (Gen2Link)
+/// -- implement one abstract Link interface: run_packet(TrialOptions, Rng)
+/// plus capability queries. Callers that only need "run a packet, count the
+/// errors" (the sweep engine, the CLI, generic benches) work against Link
+/// and a declarative LinkSpec; callers that inspect generation-specific
+/// diagnostics use the concrete classes' run_packet_full / run_acquisition.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <variant>
 
 #include "channel/saleh_valenzuela.h"
 #include "common/rng.h"
@@ -17,30 +27,153 @@
 
 namespace uwb::txrx {
 
-/// Channel/impairment options for one gen-2 packet trial.
-struct Gen2LinkOptions {
-  int cm = 0;                     ///< 0 = AWGN only, 1..4 = 802.15.3a CM1..CM4
+/// The paper's two transceiver generations.
+enum class Generation { kGen1, kGen2 };
+
+/// Human-readable generation name ("gen1" / "gen2").
+std::string to_string(Generation gen);
+
+/// Channel/impairment options for one packet trial, shared by both
+/// generations. Field defaults match the gen-2 100 Mbps link benches;
+/// default_options(Generation::kGen1) returns the gen-1 BER-run defaults
+/// (short payload, genie timing). Options a generation cannot honor
+/// (interferer / auto_notch / fec on gen-1) make run_packet throw -- see
+/// LinkCaps for querying support up front.
+struct TrialOptions {
+  int cm = 0;                    ///< 0 = AWGN only, 1..4 = 802.15.3a CM1..CM4
   double ebn0_db = 10.0;
   std::size_t payload_bits = 200;
+  bool genie_timing = false;     ///< BER-only runs skip acquisition
 
+  /// Random TX start, what acquisition must find. Gen-2 draws a delay in
+  /// analog samples, gen-1 in PRF frames; both fields carry their
+  /// generation's canonical default so one struct serves either link.
+  std::size_t start_delay_max_samples = 32;  ///< gen-2 (analog rate)
+  std::size_t start_delay_max_frames = 64;   ///< gen-1 (PRF frames)
+
+  // Gen-2-only impairments / mitigations.
   bool interferer = false;
   double interferer_sir_db = 0.0;     ///< signal-to-interference ratio
   double interferer_freq_hz = 80e6;   ///< baseband offset of the CW tone
-
   bool auto_notch = false;            ///< spectral monitor drives the notch
   bool run_spectral_monitor = true;
-  bool genie_timing = false;
-  std::size_t start_delay_max_samples = 32;  ///< random TX start (analog rate)
 
-  /// Outer convolutional code. When set, the payload is encoded before
-  /// transmission and soft-Viterbi decoded from the RAKE soft outputs
-  /// (requires BPSK and disables the MLSE hard path for the trial). Note
-  /// that energy accounting stays per *coded* bit: at equal options.ebn0_db
-  /// a rate-1/2 coded trial spends 3 dB more energy per information bit.
+  /// Outer convolutional code (gen-2 only). When set, the payload is
+  /// encoded before transmission and soft-Viterbi decoded from the RAKE
+  /// soft outputs (requires BPSK and disables the MLSE hard path for the
+  /// trial). Note that energy accounting stays per *coded* bit: at equal
+  /// options.ebn0_db a rate-1/2 coded trial spends 3 dB more energy per
+  /// information bit.
   std::optional<fec::ConvCode> fec;
 };
 
-/// One packet's outcome.
+/// Canonical per-generation defaults: gen-2 returns TrialOptions{}; gen-1
+/// returns the short-payload genie-timed BER-run defaults.
+[[nodiscard]] TrialOptions default_options(Generation gen);
+
+/// Generation-agnostic outcome of one packet trial: the error counts every
+/// Monte-Carlo loop consumes plus the diagnostics both generations can
+/// report. Generation-specific detail (CIR estimates, soft streams,
+/// acquisition metrics) lives in Gen1TrialResult / Gen2TrialResult.
+struct TrialResult {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  bool acquired = true;
+  double rake_energy_capture = 0.0;  ///< gen-2 RAKE estimate, 0 for gen-1
+  double snr_estimate_db = 0.0;      ///< gen-2 data-aided estimate, 0 for gen-1
+};
+
+/// What a link implementation supports; make_link validates a spec's
+/// options against these, and run_packet fails loudly on unsupported
+/// options rather than silently ignoring them.
+struct LinkCaps {
+  Generation generation = Generation::kGen2;
+  double bit_rate_hz = 0.0;
+  bool complex_baseband = false;   ///< I/Q (gen-2) vs real baseband (gen-1)
+  bool supports_interferer = false;
+  bool supports_auto_notch = false;
+  bool supports_fec = false;
+  bool supports_acquisition_trials = false;  ///< dedicated acquisition runs
+};
+
+/// Abstract generation-agnostic link.
+///
+/// Thread-safety: a link instance is NOT safe for concurrent run_packet
+/// calls (the receiver mutates per-packet state). Parallel sweeps give each
+/// worker its own link built from the same (spec, seed) -- identical
+/// hardware mismatch -- and pass an explicit per-trial Rng so results are a
+/// pure function of that Rng, independent of which worker runs the trial.
+class Link {
+ public:
+  explicit Link(uint64_t seed) : rng_(seed) {}
+  virtual ~Link() = default;
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] virtual const LinkCaps& caps() const noexcept = 0;
+  [[nodiscard]] Generation generation() const noexcept { return caps().generation; }
+
+  /// Runs one packet. All trial randomness (payload, delay, channel
+  /// realization, noise) is drawn from \p rng, so a trial's outcome is a
+  /// pure function of (spec, construction seed, rng).
+  /// \throws InvalidArgument when \p options uses a feature caps() lacks.
+  [[nodiscard]] virtual TrialResult run_packet(const TrialOptions& options, Rng& rng) = 0;
+
+  /// Convenience overload on the link's own RNG (state advances).
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options) {
+    return run_packet(options, rng_);
+  }
+
+  /// Direct access to the trial RNG (benches print the seed).
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ protected:
+  Rng rng_;
+};
+
+/// Everything needed to construct a link and run packet trials: which
+/// generation (via the config alternative) plus the per-trial options.
+/// This is the serializable unit the scenario registry, the JSON scenario
+/// files, and the uwb_sweep CLI all traffic in.
+struct LinkSpec {
+  std::variant<Gen1Config, Gen2Config> config = Gen2Config{};
+  TrialOptions options{};
+
+  [[nodiscard]] Generation generation() const noexcept {
+    return config.index() == 0 ? Generation::kGen1 : Generation::kGen2;
+  }
+  [[nodiscard]] const Gen1Config& gen1() const { return std::get<Gen1Config>(config); }
+  [[nodiscard]] const Gen2Config& gen2() const { return std::get<Gen2Config>(config); }
+  [[nodiscard]] Gen1Config& gen1() { return std::get<Gen1Config>(config); }
+  [[nodiscard]] Gen2Config& gen2() { return std::get<Gen2Config>(config); }
+
+  /// Spec for a gen-1 link with the gen-1 option defaults.
+  [[nodiscard]] static LinkSpec for_gen1(Gen1Config config);
+  [[nodiscard]] static LinkSpec for_gen1(Gen1Config config, TrialOptions options);
+
+  /// Spec for a gen-2 link with the gen-2 option defaults.
+  [[nodiscard]] static LinkSpec for_gen2(Gen2Config config);
+  [[nodiscard]] static LinkSpec for_gen2(Gen2Config config, TrialOptions options);
+};
+
+/// Generation-level capability flags without constructing any hardware
+/// (bit_rate_hz stays 0; it depends on the concrete config).
+[[nodiscard]] LinkCaps generation_caps(Generation gen);
+
+/// Checks \p spec's options against its generation's capabilities.
+/// \throws InvalidArgument on an unsupported feature (e.g. FEC or an
+///         interferer on gen-1). Cheap: no transmitter/receiver is built,
+///         so sweep runners can validate a whole plan up front.
+void validate_spec(const LinkSpec& spec);
+
+/// Factory: builds the concrete link for \p spec's generation.
+/// \throws InvalidArgument when spec.options uses a feature the generation
+///         does not support (see validate_spec), so bad specs fail at
+///         construction, not mid-sweep.
+[[nodiscard]] std::unique_ptr<Link> make_link(const LinkSpec& spec, uint64_t seed);
+
+/// One gen-2 packet's detailed outcome.
 struct Gen2TrialResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
@@ -48,49 +181,34 @@ struct Gen2TrialResult {
   channel::Cir true_channel;
 };
 
-/// Reusable gen-2 link (receiver mismatch drawn once at construction).
-///
-/// Thread-safety: a link instance is NOT safe for concurrent run_packet
-/// calls (the receiver mutates per-packet state). Parallel sweeps give each
-/// worker its own link built from the same (config, seed) -- identical
-/// hardware mismatch -- and pass an explicit per-trial Rng so results are a
-/// pure function of that Rng, independent of which worker runs the trial.
-class Gen2Link {
+/// The Section-3 direct-conversion 100 Mbps link (receiver mismatch drawn
+/// once at construction).
+class Gen2Link final : public Link {
  public:
   Gen2Link(const Gen2Config& config, uint64_t seed);
 
+  [[nodiscard]] const LinkCaps& caps() const noexcept override { return caps_; }
   [[nodiscard]] const Gen2Config& config() const noexcept { return config_; }
   [[nodiscard]] Gen2Transmitter& transmitter() noexcept { return tx_; }
   [[nodiscard]] Gen2Receiver& receiver() noexcept { return rx_; }
 
-  /// Runs one packet; rng state advances (independent trials).
-  [[nodiscard]] Gen2TrialResult run_packet(const Gen2LinkOptions& options);
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng) override;
+  using Link::run_packet;
 
-  /// Seed-parameterized variant: all trial randomness (payload, delay,
-  /// channel realization, noise) is drawn from \p rng, so a trial's outcome
-  /// is a pure function of (config, construction seed, rng).
-  [[nodiscard]] Gen2TrialResult run_packet(const Gen2LinkOptions& options, Rng& rng);
-
-  /// Direct access to the trial RNG (benches print the seed).
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  /// Full-diagnostics variant: receiver state, soft streams, true CIR.
+  [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options, Rng& rng);
+  [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options) {
+    return run_packet_full(options, rng_);
+  }
 
  private:
   Gen2Config config_;
-  Rng rng_;
+  LinkCaps caps_;
   Gen2Transmitter tx_;
   Gen2Receiver rx_;
 };
 
-/// Channel/impairment options for one gen-1 packet trial.
-struct Gen1LinkOptions {
-  double ebn0_db = 10.0;
-  std::size_t payload_bits = 32;
-  bool genie_timing = true;   ///< BER runs use genie; acquisition runs don't
-  int cm = 0;                 ///< 0 = AWGN, 1..4 = CM (real-polarity variant)
-  std::size_t start_delay_max_frames = 64;  ///< random TX start in frames
-};
-
-/// One gen-1 packet's outcome.
+/// One gen-1 packet's detailed outcome.
 struct Gen1TrialResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
@@ -98,21 +216,26 @@ struct Gen1TrialResult {
   std::size_t true_offset_adc = 0;  ///< actual preamble start at ADC rate
 };
 
-/// Reusable gen-1 link. Same thread-safety contract as Gen2Link: one link
-/// per worker, per-trial randomness through the explicit-Rng overloads.
-class Gen1Link {
+/// The Section-2 baseband 193 kbps link. Same thread-safety contract as
+/// Gen2Link: one link per worker, per-trial randomness through the
+/// explicit-Rng overloads.
+class Gen1Link final : public Link {
  public:
   Gen1Link(const Gen1Config& config, uint64_t seed);
 
+  [[nodiscard]] const LinkCaps& caps() const noexcept override { return caps_; }
   [[nodiscard]] const Gen1Config& config() const noexcept { return config_; }
   [[nodiscard]] Gen1Transmitter& transmitter() noexcept { return tx_; }
   [[nodiscard]] Gen1Receiver& receiver() noexcept { return rx_; }
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
-  [[nodiscard]] Gen1TrialResult run_packet(const Gen1LinkOptions& options);
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng) override;
+  using Link::run_packet;
 
-  /// Seed-parameterized variant (see Gen2Link::run_packet).
-  [[nodiscard]] Gen1TrialResult run_packet(const Gen1LinkOptions& options, Rng& rng);
+  /// Full-diagnostics variant: acquisition result, decoded bits, offsets.
+  [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options, Rng& rng);
+  [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options) {
+    return run_packet_full(options, rng_);
+  }
 
   /// Acquisition-only trial: returns the acquisition result plus whether
   /// the found timing matches the true one (within +/- tol samples, modulo
@@ -122,16 +245,16 @@ class Gen1Link {
     bool timing_correct = false;
     std::size_t true_offset_adc = 0;
   };
-  [[nodiscard]] AcqTrial run_acquisition(const Gen1LinkOptions& options,
+  [[nodiscard]] AcqTrial run_acquisition(const TrialOptions& options,
                                          std::size_t tol_samples = 2);
 
   /// Seed-parameterized acquisition trial.
-  [[nodiscard]] AcqTrial run_acquisition(const Gen1LinkOptions& options, Rng& rng,
+  [[nodiscard]] AcqTrial run_acquisition(const TrialOptions& options, Rng& rng,
                                          std::size_t tol_samples);
 
  private:
   Gen1Config config_;
-  Rng rng_;
+  LinkCaps caps_;
   Gen1Transmitter tx_;
   Gen1Receiver rx_;
 };

@@ -110,7 +110,7 @@ TEST(CodedLink, SoftViterbiBeatsUncodedAtEqualInfoEnergy) {
   stop.max_bits = 60000;
 
   txrx::Gen2Link coded_link(config, 0xC0DE);
-  txrx::Gen2LinkOptions coded;
+  txrx::TrialOptions coded;
   coded.payload_bits = 200;
   coded.ebn0_db = 4.0;  // info-bit Eb/N0 = 7 dB
   coded.fec = fec::k7_rate_half();
@@ -122,7 +122,7 @@ TEST(CodedLink, SoftViterbiBeatsUncodedAtEqualInfoEnergy) {
       stop);
 
   txrx::Gen2Link plain_link(config, 0xC0DE);
-  txrx::Gen2LinkOptions plain;
+  txrx::TrialOptions plain;
   plain.payload_bits = 200;
   plain.ebn0_db = 7.0;  // same info-bit energy
   const auto p_plain = sim::measure_ber(
@@ -139,7 +139,7 @@ TEST(CodedLink, SoftViterbiBeatsUncodedAtEqualInfoEnergy) {
 TEST(CodedLink, DecodesCleanlyAtModerateSnr) {
   txrx::Gen2Config config = sim::gen2_fast();
   txrx::Gen2Link link(config, 0xC1DE);
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 200;
   options.ebn0_db = 6.0;
   options.fec = fec::k3_rate_half();
@@ -157,7 +157,7 @@ TEST(CodedLink, RequiresBpsk) {
   txrx::Gen2Config config = sim::gen2_fast();
   config.modulation = phy::Modulation::kPpm;
   txrx::Gen2Link link(config, 0xC2DE);
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.fec = fec::k3_rate_half();
   EXPECT_THROW((void)link.run_packet(options), InvalidArgument);
 }

@@ -161,24 +161,24 @@ TEST(ScenarioRegistry, BuilderExpandsGridRowMajor) {
   for (std::size_t i = 0; i < 6; ++i) {
     EXPECT_EQ(spec.points[i].tag("channel"), expected_channels[i]);
     EXPECT_EQ(spec.points[i].tag("ebn0_db"), expected_ebn0[i]);
-    EXPECT_EQ(spec.points[i].gen2_options.cm, i < 3 ? 0 : 3);
+    EXPECT_EQ(spec.points[i].link.options.cm, i < 3 ? 0 : 3);
   }
-  EXPECT_EQ(spec.points[4].gen2_options.ebn0_db, 12.0);
+  EXPECT_EQ(spec.points[4].link.options.ebn0_db, 12.0);
   EXPECT_EQ(spec.points[4].label, "CM3 | 12");
 }
 
 TEST(ScenarioRegistry, VariantAxisMutatesConfig) {
   Gen2ScenarioBuilder builder("backend", sim::gen2_fast());
-  builder.axis("backend", {{"full", [](txrx::Gen2Config&, txrx::Gen2LinkOptions&) {}},
-                           {"mf_only", [](txrx::Gen2Config& c, txrx::Gen2LinkOptions&) {
+  builder.axis("backend", {{"full", [](txrx::Gen2Config&, txrx::TrialOptions&) {}},
+                           {"mf_only", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                               c.use_rake = false;
                               c.use_mlse = false;
                             }}});
   const ScenarioSpec spec = builder.build();
   ASSERT_EQ(spec.points.size(), 2u);
-  EXPECT_TRUE(spec.points[0].gen2.use_rake);
-  EXPECT_FALSE(spec.points[1].gen2.use_rake);
-  EXPECT_FALSE(spec.points[1].gen2.use_mlse);
+  EXPECT_TRUE(spec.points[0].link.gen2().use_rake);
+  EXPECT_FALSE(spec.points[1].link.gen2().use_rake);
+  EXPECT_FALSE(spec.points[1].link.gen2().use_mlse);
 }
 
 TEST(ScenarioRegistry, GlobalHasBuiltinsAndRejectsUnknown) {
@@ -198,13 +198,77 @@ TEST(ScenarioRegistry, EmptyAxisRejected) {
   EXPECT_THROW(builder.axis("empty", {}), InvalidArgument);
 }
 
+TEST(ScenarioRegistry, ThreeAxisExpansionIsRowMajorInDeclarationOrder) {
+  // First declared axis outermost, last innermost: a 2x2x2 grid must
+  // enumerate as an odometer with the "notch" digit spinning fastest.
+  Gen2ScenarioBuilder builder("rowmajor", sim::gen2_fast());
+  builder.channels({0, 3})
+      .ebn0_grid({8.0, 12.0})
+      .axis("notch", {{"off", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                         o.auto_notch = false;
+                       }},
+                      {"auto", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                         o.auto_notch = true;
+                       }}});
+  const ScenarioSpec spec = builder.build();
+  ASSERT_EQ(spec.points.size(), 8u);
+  const char* expected[][3] = {
+      {"AWGN", "8", "off"},  {"AWGN", "8", "auto"},  {"AWGN", "12", "off"},
+      {"AWGN", "12", "auto"}, {"CM3", "8", "off"},   {"CM3", "8", "auto"},
+      {"CM3", "12", "off"},  {"CM3", "12", "auto"},
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(spec.points[i].tags[0], (std::pair<std::string, std::string>{
+                                          "channel", expected[i][0]}));
+    EXPECT_EQ(spec.points[i].tags[1], (std::pair<std::string, std::string>{
+                                          "ebn0_db", expected[i][1]}));
+    EXPECT_EQ(spec.points[i].tags[2], (std::pair<std::string, std::string>{
+                                          "notch", expected[i][2]}));
+    EXPECT_EQ(spec.points[i].link.options.auto_notch,
+              std::string(expected[i][2]) == "auto");
+  }
+}
+
+TEST(ScenarioRegistry, TagsRoundTripThroughPointSpecTag) {
+  Gen2ScenarioBuilder builder("tags", sim::gen2_fast());
+  builder.channels({2}).ebn0_grid({10.0});
+  const ScenarioSpec spec = builder.build();
+  ASSERT_EQ(spec.points.size(), 1u);
+  const PointSpec& point = spec.points[0];
+  // Every declared (axis, value) pair is recoverable via tag(), in order.
+  for (const auto& [key, value] : point.tags) {
+    EXPECT_EQ(point.tag(key), value);
+  }
+  EXPECT_EQ(point.tag("channel"), "CM2");
+  EXPECT_EQ(point.tag("ebn0_db"), "10");
+  EXPECT_EQ(point.tag("not_an_axis"), "");
+  EXPECT_EQ(point.label, "CM2 | 10");
+}
+
+TEST(ScenarioRegistry, RestrictScenarioFiltersAndFailsLoudly) {
+  ScenarioSpec grid = ScenarioRegistry::global().make("gen2_cm_grid");
+  restrict_scenario(grid, "channel", "CM1,CM3");
+  EXPECT_EQ(grid.points.size(), 2u * 3u * 2u);
+  restrict_scenario(grid, "ebn0_db", "12");
+  EXPECT_EQ(grid.points.size(), 2u * 2u);
+  for (const auto& point : grid.points) {
+    EXPECT_TRUE(point.tag("channel") == "CM1" || point.tag("channel") == "CM3");
+    EXPECT_EQ(point.tag("ebn0_db"), "12");
+  }
+  // Unknown axis key: loud failure, not a silently unfiltered sweep.
+  EXPECT_THROW(restrict_scenario(grid, "chanel", "CM1"), InvalidArgument);
+  // Known axis, value matching no point: equally loud.
+  EXPECT_THROW(restrict_scenario(grid, "channel", "CM9"), InvalidArgument);
+}
+
 // ------------------------------------------------------------ sweep engine ----
 
 /// A tiny real-link scenario, cheap enough for a unit test: gen-2 fast
 /// config on AWGN and CM1, small payloads, small budgets.
 ScenarioSpec tiny_scenario() {
   txrx::Gen2Config config = sim::gen2_fast();
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 64;
   options.genie_timing = true;
   Gen2ScenarioBuilder builder("tiny", config, options);
@@ -362,6 +426,66 @@ TEST(SweepEngine, FastPathDigestIndependentOfWorkerCount) {
   }
   EXPECT_EQ(digests[0], digests[1]);
   EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(SweepEngine, ShardsPartitionThePlanAndMatchTheUnshardedRun) {
+  // shard 0/2 and 1/2 must cover exactly the unsharded point set, once
+  // each, and every shard point must be byte-identical to its unsharded
+  // counterpart (global-index seeding).
+  const ScenarioSpec scenario = tiny_scenario();  // 2 points
+
+  SweepConfig base;
+  base.seed = 0x51AD;
+  base.workers = 2;
+  base.stop = tiny_stop();
+
+  const SweepResult full = SweepEngine(base).run(scenario);
+  ASSERT_EQ(full.records.size(), 2u);
+
+  std::vector<SweepResult> shards;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    SweepConfig config = base;
+    config.shard_index = shard;
+    config.shard_count = 2;
+    shards.push_back(SweepEngine(config).run(scenario));
+    ASSERT_EQ(shards.back().records.size(), 1u);
+    EXPECT_EQ(shards.back().records[0].index, shard);  // 0/2 -> point 0, 1/2 -> 1
+  }
+  for (std::size_t i = 0; i < full.records.size(); ++i) {
+    SCOPED_TRACE(full.records[i].spec.label);
+    EXPECT_EQ(shards[i].records[0].index, full.records[i].index);
+    expect_points_equal(shards[i].records[0].ber, full.records[i].ber);
+  }
+}
+
+TEST(SweepEngine, InvalidPointFailsBeforeAnyTrialRuns) {
+  // A plan whose *last* point is invalid must be rejected up front -- an
+  // exception mid-sweep would discard every completed point.
+  ScenarioSpec scenario = tiny_scenario();
+  PointSpec bad;
+  bad.label = "gen1-with-interferer";
+  bad.link = txrx::LinkSpec::for_gen1(sim::gen1_fast());
+  bad.link.options.interferer = true;
+  scenario.points.push_back(bad);
+
+  SweepConfig config;
+  config.stop = tiny_stop();
+  JsonSink json("test_results/never_written.json");
+  try {
+    (void)SweepEngine(config).run(scenario, {&json});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("gen1-with-interferer"), std::string::npos);
+  }
+}
+
+TEST(SweepEngine, RejectsBadShardConfig) {
+  SweepConfig config;
+  config.shard_count = 0;
+  EXPECT_THROW(SweepEngine{config}, InvalidArgument);
+  config.shard_count = 2;
+  config.shard_index = 2;
+  EXPECT_THROW(SweepEngine{config}, InvalidArgument);
 }
 
 TEST(SweepEngine, RunNamedExecutesRegistryScenario) {

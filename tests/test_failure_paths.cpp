@@ -76,7 +76,7 @@ TEST(FailurePaths, Gen2MistunedNotchOnlyCostsMargin) {
   txrx::Gen2Link link(config, 6);
   link.receiver().mutable_config();  // (no-op touch: knobs stay valid)
 
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 200;
   options.ebn0_db = 16.0;
   // Interferer reported far out of band by forcing auto-notch with a tone
@@ -142,7 +142,7 @@ TEST(FailurePaths, LinkCountsLostPacketsAsErrored) {
   // every bit rather than silently skipping the trial.
   txrx::Gen2Config config = sim::gen2_fast();
   txrx::Gen2Link link(config, 8);
-  txrx::Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 100;
   options.ebn0_db = -30.0;
   const auto trial = link.run_packet(options);

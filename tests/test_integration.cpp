@@ -19,9 +19,9 @@ using sim::BerPoint;
 using sim::BerStop;
 using sim::TrialOutcome;
 using txrx::Gen2Link;
-using txrx::Gen2LinkOptions;
+using txrx::TrialOptions;
 
-BerPoint run_gen2(Gen2Link& link, const Gen2LinkOptions& options, std::size_t min_errors = 30,
+BerPoint run_gen2(Gen2Link& link, const txrx::TrialOptions& options, std::size_t min_errors = 30,
                   std::size_t max_bits = 120000) {
   BerStop stop;
   stop.min_errors = min_errors;
@@ -39,7 +39,7 @@ TEST(Integration, Gen2AwgnBerTracksTheoryWithin2dB) {
   // The full receive chain (front end, 5-bit SARs, estimation, RAKE) should
   // sit within ~2 dB of textbook BPSK on a clean AWGN channel.
   Gen2Link link(sim::gen2_fast(), 0x1001);
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 400;
   options.cm = 0;
   options.ebn0_db = 7.0;
@@ -52,7 +52,7 @@ TEST(Integration, Gen2AwgnBerTracksTheoryWithin2dB) {
 
 TEST(Integration, Gen2BerImprovesWithEbn0) {
   Gen2Link link(sim::gen2_fast(), 0x1002);
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 400;
   options.cm = 0;
   double prev = 1.0;
@@ -71,7 +71,7 @@ TEST(Integration, RakeBeatsSingleFingerUnderMultipath) {
   txrx::Gen2Config mf_config = rake_config;
   mf_config.use_rake = false;
 
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 300;
   options.cm = 2;
   options.ebn0_db = 12.0;
@@ -93,7 +93,7 @@ TEST(Integration, MlseHelpsOnDispersiveChannel) {
   txrx::Gen2Config rake_config = mlse_config;
   rake_config.use_mlse = false;
 
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 300;
   options.cm = 3;
   options.ebn0_db = 14.0;
@@ -108,17 +108,17 @@ TEST(Integration, MlseHelpsOnDispersiveChannel) {
 
 TEST(Integration, InterfererHurtsAndNotchRecovers) {
   txrx::Gen2Config config = sim::gen2_fast();
-  Gen2LinkOptions clean;
+  txrx::TrialOptions clean;
   clean.payload_bits = 300;
   clean.cm = 0;
   clean.ebn0_db = 10.0;
 
-  Gen2LinkOptions jammed = clean;
+  txrx::TrialOptions jammed = clean;
   jammed.interferer = true;
   jammed.interferer_sir_db = -15.0;  // interferer 15 dB above the signal
   jammed.interferer_freq_hz = 120e6;
 
-  Gen2LinkOptions notched = jammed;
+  txrx::TrialOptions notched = jammed;
   notched.auto_notch = true;
 
   Gen2Link link_clean(config, 0x4001);
@@ -136,13 +136,13 @@ TEST(Integration, InterfererHurtsAndNotchRecovers) {
 TEST(Integration, SpectralMonitorReportsFrequency) {
   txrx::Gen2Config config = sim::gen2_fast();
   Gen2Link link(config, 0x5001);
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 200;
   options.ebn0_db = 12.0;
   options.interferer = true;
   options.interferer_sir_db = -12.0;
   options.interferer_freq_hz = 150e6;
-  const auto trial = link.run_packet(options);
+  const auto trial = link.run_packet_full(options);
   EXPECT_TRUE(trial.rx.interferer.detected);
   EXPECT_NEAR(trial.rx.interferer.frequency_hz, 150e6, 8e6);
 }
@@ -155,7 +155,7 @@ TEST(Integration, ChannelEstimatePrecisionMatters) {
   txrx::Gen2Config four = sim::gen2_fast();
   four.chanest.quantization_bits = 4;
 
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 300;
   options.cm = 2;
   options.ebn0_db = 12.0;
@@ -170,7 +170,7 @@ TEST(Integration, ChannelEstimatePrecisionMatters) {
 TEST(Integration, Gen1LinkAt193kbps) {
   txrx::Gen1Config config = sim::gen1_fast();
   txrx::Gen1Link link(config, 0x7001);
-  txrx::Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 24;
   options.genie_timing = true;
   options.ebn0_db = 10.0;
@@ -189,7 +189,7 @@ TEST(Integration, Gen1LinkAt193kbps) {
 TEST(Integration, Gen1SyncUnder70us) {
   txrx::Gen1Config config = sim::gen1_nominal();
   txrx::Gen1Link link(config, 0x8001);
-  txrx::Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 8;
   options.ebn0_db = 18.0;
   options.genie_timing = false;
@@ -214,7 +214,7 @@ TEST(Integration, AcquisitionParallelismControlsSyncTime) {
 
   txrx::Gen1Link link_fast(fast, 0x9001);
   txrx::Gen1Link link_slow(slow, 0x9001);
-  txrx::Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 8;
   options.ebn0_db = 18.0;
   options.genie_timing = false;
@@ -226,7 +226,7 @@ TEST(Integration, AcquisitionParallelismControlsSyncTime) {
 
 TEST(Integration, ModulationSchemesRankCorrectlyOnAwgn) {
   // BPSK < OOK ~ PPM in BER at the same Eb/N0 (3 dB antipodal gain).
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.payload_bits = 400;
   options.cm = 0;
   options.ebn0_db = 8.0;

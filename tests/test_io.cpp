@@ -1,0 +1,325 @@
+// Tests for the src/io layer: the hand-rolled JSON model/parser/writer,
+// spec (de)serialization (LinkSpec, BerStop, ScenarioSpec), and the sweep
+// result documents behind shard merging. The headline contracts:
+//
+//  * write(parse(write(x))) is byte-identical to write(x) (literal-
+//    preserving numbers, ordered objects);
+//  * a scenario serialized to JSON, reloaded, and rerun under the same
+//    seed produces a byte-identical result file to the registry-driven
+//    run, for both generations;
+//  * shard result docs merge back into exactly the unsharded doc.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "engine/scenario_registry.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
+#include "io/json.h"
+#include "io/result_io.h"
+#include "io/spec_io.h"
+#include "sim/scenario.h"
+
+namespace uwb::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------------------------------- json ----
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const JsonValue v = parse_json(
+      R"({"a": 1, "b": -2.5e3, "c": "hi\nthere", "d": [1, 2, 3], "e": {"nested": true}, "f": null})");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("b").as_double(), -2500.0);
+  EXPECT_EQ(v.at("c").as_string(), "hi\nthere");
+  EXPECT_EQ(v.at("d").items().size(), 3u);
+  EXPECT_TRUE(v.at("e").at("nested").as_bool());
+  EXPECT_TRUE(v.at("f").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsKeepOrderAndRejectDuplicates) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+  EXPECT_THROW((void)parse_json(R"({"x": 1, "x": 2})"), InvalidArgument);
+}
+
+TEST(Json, NumberLiteralsSurviveRoundTrip) {
+  // 64-bit seeds exceed double precision; the literal text must survive a
+  // parse -> dump cycle untouched (this is what keeps merged shard files
+  // byte-identical).
+  const std::string doc = R"({"seed": 6840123412451356685, "x": 1e+09, "y": 0.1})";
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.at("seed").as_uint64(), 6840123412451356685ULL);
+  EXPECT_EQ(v.at("seed").number_text(), "6840123412451356685");
+  EXPECT_EQ(dump_json(v), doc);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json(""), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("[1, 2,]"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("01 garbage"), InvalidArgument);
+  EXPECT_THROW((void)parse_json(R"("unterminated)"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{\"a\": 1} trailing"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("1."), InvalidArgument);
+}
+
+TEST(Json, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(4e9), "4e+09");
+  for (double v : {1.0 / 3.0, 6.02214076e23, -0.015625, 1e-300}) {
+    EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+  }
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+  JsonValue v = JsonValue::object();
+  v.set("name", JsonValue::string("x"));
+  JsonValue arr = JsonValue::array();
+  JsonValue inner = JsonValue::object();
+  inner.set("k", JsonValue::number(uint64_t{7}));
+  arr.push_back(std::move(inner));
+  v.set("list", std::move(arr));
+  const std::string text = dump_json_pretty(v);
+  const JsonValue back = parse_json(text);
+  EXPECT_EQ(back.at("name").as_string(), "x");
+  EXPECT_EQ(back.at("list").items()[0].at("k").as_uint64(), 7u);
+}
+
+// ------------------------------------------------------------------ specs ----
+
+TEST(SpecIo, TrialOptionsRoundTripIncludingFec) {
+  txrx::TrialOptions options;
+  options.cm = 3;
+  options.ebn0_db = 12.5;
+  options.payload_bits = 123;
+  options.genie_timing = true;
+  options.interferer = true;
+  options.interferer_sir_db = -10.0;
+  options.auto_notch = true;
+  options.fec = fec::k7_rate_half();
+
+  const txrx::TrialOptions back =
+      trial_options_from_json(parse_json(dump_json(to_json(options))));
+  EXPECT_EQ(back.cm, 3);
+  EXPECT_EQ(back.ebn0_db, 12.5);
+  EXPECT_EQ(back.payload_bits, 123u);
+  EXPECT_TRUE(back.genie_timing);
+  EXPECT_TRUE(back.interferer);
+  EXPECT_EQ(back.interferer_sir_db, -10.0);
+  EXPECT_TRUE(back.auto_notch);
+  ASSERT_TRUE(back.fec.has_value());
+  EXPECT_EQ(back.fec->constraint_length, 7);
+  EXPECT_EQ(back.fec->generators, fec::k7_rate_half().generators);
+}
+
+TEST(SpecIo, LinkSpecRoundTripIsTextStable) {
+  // Serialize -> parse -> serialize must reproduce the text exactly, for
+  // both generations (this pins every config field's formatting).
+  txrx::Gen2Config gen2 = sim::gen2_fast();
+  gen2.rake.num_fingers = 16;
+  gen2.modulation = phy::Modulation::kPam4;
+  const txrx::LinkSpec spec2 = txrx::LinkSpec::for_gen2(gen2);
+  const std::string text2 = dump_json(to_json(spec2));
+  EXPECT_EQ(dump_json(to_json(link_spec_from_json(parse_json(text2)))), text2);
+
+  const txrx::LinkSpec spec1 = txrx::LinkSpec::for_gen1(sim::gen1_fast());
+  const std::string text1 = dump_json(to_json(spec1));
+  EXPECT_EQ(dump_json(to_json(link_spec_from_json(parse_json(text1)))), text1);
+  EXPECT_EQ(link_spec_from_json(parse_json(text1)).generation(),
+            txrx::Generation::kGen1);
+}
+
+TEST(SpecIo, UnknownKeysFailLoudly) {
+  EXPECT_THROW((void)trial_options_from_json(parse_json(R"({"ebno_db": 10})")),
+               InvalidArgument);
+  EXPECT_THROW((void)gen2_config_from_json(parse_json(R"({"prf_mhz": 100})")),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)link_spec_from_json(parse_json(R"({"generation": "gen3", "config": {}})")),
+      InvalidArgument);
+}
+
+TEST(SpecIo, MissingKeysKeepDefaults) {
+  const txrx::Gen2Config config =
+      gen2_config_from_json(parse_json(R"({"channel_index": 9})"));
+  EXPECT_EQ(config.channel_index, 9);
+  EXPECT_EQ(config.prf_hz, txrx::Gen2Config{}.prf_hz);
+  EXPECT_EQ(config.sar.bits, txrx::Gen2Config{}.sar.bits);
+}
+
+TEST(SpecIo, TerseGen1OptionsKeepGenerationDefaults) {
+  // A hand-written gen-1 spec with a sparse options object must fall back
+  // to the gen-1 defaults (genie timing, short payload), exactly as if the
+  // object were omitted entirely.
+  const txrx::LinkSpec spec = link_spec_from_json(parse_json(
+      R"({"generation": "gen1", "config": {}, "options": {"ebn0_db": 8}})"));
+  EXPECT_EQ(spec.options.ebn0_db, 8.0);
+  EXPECT_TRUE(spec.options.genie_timing);
+  EXPECT_EQ(spec.options.payload_bits, 32u);
+
+  const txrx::LinkSpec bare =
+      link_spec_from_json(parse_json(R"({"generation": "gen1", "config": {}})"));
+  EXPECT_TRUE(bare.options.genie_timing);
+  EXPECT_EQ(bare.options.payload_bits, 32u);
+}
+
+TEST(SpecIo, BerStopRoundTrip) {
+  sim::BerStop stop;
+  stop.min_errors = 7;
+  stop.max_bits = 1234;
+  stop.max_trials = 99;
+  const sim::BerStop back = ber_stop_from_json(parse_json(dump_json(to_json(stop))));
+  EXPECT_EQ(back.min_errors, 7u);
+  EXPECT_EQ(back.max_bits, 1234u);
+  EXPECT_EQ(back.max_trials, 99u);
+}
+
+TEST(SpecIo, ScenarioFileRoundTripPreservesTagsAndLabels) {
+  engine::ScenarioSpec scenario = engine::ScenarioRegistry::global().make("gen2_cm_grid");
+  scenario.points.resize(3);
+  save_scenario_file(scenario, "test_results/spec_roundtrip.json");
+  const engine::ScenarioSpec back = load_scenario_file("test_results/spec_roundtrip.json");
+
+  EXPECT_EQ(back.name, scenario.name);
+  EXPECT_EQ(back.description, scenario.description);
+  ASSERT_EQ(back.points.size(), 3u);
+  for (std::size_t i = 0; i < back.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].label, scenario.points[i].label);
+    EXPECT_EQ(back.points[i].tags, scenario.points[i].tags);
+    EXPECT_EQ(back.points[i].tag("channel"), scenario.points[i].tag("channel"));
+  }
+}
+
+// --------------------------------------- reload + rerun == registry run ----
+
+/// Runs \p scenario under a pinned seed/stop and returns the result JSON.
+std::string run_to_json(const engine::ScenarioSpec& scenario, const std::string& path) {
+  engine::SweepConfig config;
+  config.seed = 0x10AD'F11E;
+  config.workers = 2;
+  config.stop.min_errors = 3;
+  config.stop.max_bits = 600;
+  config.stop.max_trials = 3;
+  engine::JsonSink json(path);
+  (void)engine::SweepEngine(config).run(scenario, {&json});
+  return slurp(path);
+}
+
+TEST(SpecIo, ReloadedScenarioRerunsByteIdenticalGen2) {
+  engine::ScenarioSpec scenario = engine::ScenarioRegistry::global().make("gen2_cm_grid");
+  scenario.points.resize(2);  // AWGN @ 8 dB: full and mf_only
+  const std::string direct = run_to_json(scenario, "test_results/reload_gen2_direct.json");
+
+  save_scenario_file(scenario, "test_results/reload_gen2_spec.json");
+  const engine::ScenarioSpec reloaded =
+      load_scenario_file("test_results/reload_gen2_spec.json");
+  const std::string rerun = run_to_json(reloaded, "test_results/reload_gen2_rerun.json");
+
+  ASSERT_FALSE(direct.empty());
+  EXPECT_EQ(direct, rerun);
+}
+
+TEST(SpecIo, ReloadedScenarioRerunsByteIdenticalGen1) {
+  engine::ScenarioSpec scenario =
+      engine::ScenarioRegistry::global().make("gen1_waterfall");
+  engine::restrict_scenario(scenario, "ebn0_db", "4,6");
+  const std::string direct = run_to_json(scenario, "test_results/reload_gen1_direct.json");
+
+  save_scenario_file(scenario, "test_results/reload_gen1_spec.json");
+  const engine::ScenarioSpec reloaded =
+      load_scenario_file("test_results/reload_gen1_spec.json");
+  const std::string rerun = run_to_json(reloaded, "test_results/reload_gen1_rerun.json");
+
+  ASSERT_FALSE(direct.empty());
+  EXPECT_EQ(direct, rerun);
+}
+
+// ---------------------------------------------------------------- results ----
+
+TEST(ResultIo, WriteParseWriteIsByteIdentical) {
+  ResultDoc doc;
+  doc.scenario = "demo";
+  doc.seed = 0x5eed'0000'cafe'f00dULL;  // > 2^53: exercises integer fidelity
+  doc.stop.min_errors = 10;
+  doc.stop.max_bits = 1000;
+  doc.stop.max_trials = 50;
+  ResultPoint point;
+  point.index = 3;
+  point.label = "CM3 | 12";
+  point.tags = {{"channel", "CM3"}, {"ebn0_db", "12"}};
+  point.ber = "0.0123";
+  point.ci95 = "1.5e-05";
+  point.errors = 12;
+  point.bits = 975;
+  point.trials = 5;
+  doc.points.push_back(point);
+
+  const std::string text = write_result_json(doc);
+  const ResultDoc parsed = parse_result_json(text);
+  EXPECT_EQ(parsed.scenario, "demo");
+  EXPECT_EQ(parsed.seed, doc.seed);
+  EXPECT_EQ(parsed.points.size(), 1u);
+  EXPECT_EQ(parsed.points[0].tags, point.tags);
+  EXPECT_EQ(write_result_json(parsed), text);
+}
+
+TEST(ResultIo, MergeRestoresUnshardedDocument) {
+  auto make_point = [](uint64_t index) {
+    ResultPoint p;
+    p.index = index;
+    p.label = "p" + std::to_string(index);
+    p.ber = "0.5";
+    p.ci95 = "0.1";
+    p.bits = 100 + index;
+    return p;
+  };
+  ResultDoc full;
+  full.scenario = "s";
+  full.seed = 42;
+  for (uint64_t i = 0; i < 5; ++i) full.points.push_back(make_point(i));
+
+  ResultDoc shard0 = full, shard1 = full;
+  shard0.points.clear();
+  shard1.points.clear();
+  for (uint64_t i = 0; i < 5; ++i) {
+    (i % 2 == 0 ? shard0 : shard1).points.push_back(make_point(i));
+  }
+
+  const ResultDoc merged = merge_results({shard1, shard0});  // order-insensitive
+  EXPECT_EQ(write_result_json(merged), write_result_json(full));
+}
+
+TEST(ResultIo, MergeRejectsMismatchedHeadersAndDuplicates) {
+  ResultDoc a, b;
+  a.scenario = b.scenario = "s";
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_THROW((void)merge_results({a, b}), InvalidArgument);
+
+  b.seed = 1;
+  ResultPoint p;
+  p.index = 0;
+  a.points.push_back(p);
+  b.points.push_back(p);
+  EXPECT_THROW((void)merge_results({a, b}), InvalidArgument);
+  EXPECT_THROW((void)merge_results({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uwb::io

@@ -161,11 +161,11 @@ TEST(PowerModel, AdcPowerScalesWithBits) {
 TEST(Gen2Receiver, CleanPacketZeroErrors) {
   const Gen2Config config = sim::gen2_fast();
   Gen2Link link(config, 0xBEEF);
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.ebn0_db = 25.0;  // essentially clean
   options.payload_bits = 64;
   options.cm = 0;
-  const Gen2TrialResult trial = link.run_packet(options);
+  const Gen2TrialResult trial = link.run_packet_full(options);
   EXPECT_TRUE(trial.rx.acquired);
   EXPECT_EQ(trial.errors, 0u) << "ber=" << static_cast<double>(trial.errors) / trial.bits;
   EXPECT_GT(trial.rx.rake_energy_capture, 0.5);
@@ -174,13 +174,13 @@ TEST(Gen2Receiver, CleanPacketZeroErrors) {
 TEST(Gen2Receiver, MultipathPacketDecodes) {
   const Gen2Config config = sim::gen2_fast();
   Gen2Link link(config, 0xCAFE);
-  Gen2LinkOptions options;
+  txrx::TrialOptions options;
   options.ebn0_db = 22.0;
   options.payload_bits = 64;
   options.cm = 1;  // mild LOS multipath
   std::size_t total_bits = 0, total_errors = 0;
   for (int p = 0; p < 5; ++p) {
-    const Gen2TrialResult trial = link.run_packet(options);
+    const Gen2TrialResult trial = link.run_packet_full(options);
     total_bits += trial.bits;
     total_errors += trial.errors;
   }
@@ -190,11 +190,11 @@ TEST(Gen2Receiver, MultipathPacketDecodes) {
 TEST(Gen1Receiver, CleanPacketZeroErrors) {
   const Gen1Config config = sim::gen1_fast();
   Gen1Link link(config, 0xF00D);
-  Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.ebn0_db = 20.0;
   options.payload_bits = 16;
   options.genie_timing = true;
-  const Gen1TrialResult trial = link.run_packet(options);
+  const Gen1TrialResult trial = link.run_packet_full(options);
   EXPECT_EQ(trial.errors, 0u);
   EXPECT_GT(trial.bits, 0u);
 }
@@ -202,7 +202,7 @@ TEST(Gen1Receiver, CleanPacketZeroErrors) {
 TEST(Gen1Receiver, AcquisitionFindsTiming) {
   const Gen1Config config = sim::gen1_nominal();
   Gen1Link link(config, 0xACE);
-  Gen1LinkOptions options;
+  txrx::TrialOptions options;
   options.ebn0_db = 18.0;  // gen-1's short-range link budget leaves ample margin
   options.payload_bits = 8;
   options.genie_timing = false;
@@ -212,6 +212,83 @@ TEST(Gen1Receiver, AcquisitionFindsTiming) {
   // Modeled sync time must satisfy the paper's < 70 us budget with the
   // default parallelism.
   EXPECT_LT(trial.acq.sync_time_s, 70e-6);
+}
+
+
+// ------------------------------------------------------------ unified Link ----
+
+TEST(UnifiedLink, MakeLinkDispatchesOnTheSpecGeneration) {
+  const LinkSpec spec1 = LinkSpec::for_gen1(sim::gen1_fast());
+  const LinkSpec spec2 = LinkSpec::for_gen2(sim::gen2_fast());
+  const auto link1 = make_link(spec1, 1);
+  const auto link2 = make_link(spec2, 1);
+  EXPECT_EQ(link1->generation(), Generation::kGen1);
+  EXPECT_EQ(link2->generation(), Generation::kGen2);
+  EXPECT_NE(dynamic_cast<Gen1Link*>(link1.get()), nullptr);
+  EXPECT_NE(dynamic_cast<Gen2Link*>(link2.get()), nullptr);
+}
+
+TEST(UnifiedLink, CapsReflectTheHardware) {
+  const auto gen1 = make_link(LinkSpec::for_gen1(sim::gen1_fast()), 2);
+  const auto gen2 = make_link(LinkSpec::for_gen2(sim::gen2_fast()), 2);
+  EXPECT_FALSE(gen1->caps().complex_baseband);
+  EXPECT_TRUE(gen1->caps().supports_acquisition_trials);
+  EXPECT_FALSE(gen1->caps().supports_fec);
+  EXPECT_NEAR(gen1->caps().bit_rate_hz, 193e3, 1e3);
+  EXPECT_TRUE(gen2->caps().complex_baseband);
+  EXPECT_TRUE(gen2->caps().supports_interferer);
+  EXPECT_TRUE(gen2->caps().supports_fec);
+  EXPECT_DOUBLE_EQ(gen2->caps().bit_rate_hz, 100e6);
+}
+
+TEST(UnifiedLink, DefaultOptionsPerGeneration) {
+  const TrialOptions gen1 = default_options(Generation::kGen1);
+  EXPECT_TRUE(gen1.genie_timing);
+  EXPECT_EQ(gen1.payload_bits, 32u);
+  const TrialOptions gen2 = default_options(Generation::kGen2);
+  EXPECT_FALSE(gen2.genie_timing);
+  EXPECT_EQ(gen2.payload_bits, 200u);
+}
+
+TEST(UnifiedLink, SamePacketThroughBaseAndConcreteInterfaces) {
+  // The virtual run_packet must report exactly what the detailed variant
+  // reports, for the same per-trial Rng.
+  const Gen2Config config = sim::gen2_fast();
+  TrialOptions options;
+  options.payload_bits = 64;
+  options.ebn0_db = 14.0;
+  options.cm = 1;
+
+  Gen2Link detailed(config, 77);
+  Rng rng_a(123);
+  const Gen2TrialResult full = detailed.run_packet_full(options, rng_a);
+
+  const auto link = make_link(LinkSpec::for_gen2(config, options), 77);
+  Rng rng_b(123);
+  const TrialResult slim = link->run_packet(options, rng_b);
+
+  EXPECT_EQ(slim.bits, full.bits);
+  EXPECT_EQ(slim.errors, full.errors);
+  EXPECT_EQ(slim.acquired, full.rx.acquired);
+  EXPECT_EQ(slim.rake_energy_capture, full.rx.rake_energy_capture);
+  EXPECT_EQ(slim.snr_estimate_db, full.rx.snr_estimate_db);
+}
+
+TEST(UnifiedLink, Gen1RejectsGen2OnlyOptionsLoudly) {
+  TrialOptions interferer = default_options(Generation::kGen1);
+  interferer.interferer = true;
+  EXPECT_THROW((void)make_link(LinkSpec::for_gen1(sim::gen1_fast(), interferer), 1),
+               InvalidArgument);
+
+  TrialOptions coded = default_options(Generation::kGen1);
+  coded.fec = fec::k3_rate_half();
+  EXPECT_THROW((void)make_link(LinkSpec::for_gen1(sim::gen1_fast(), coded), 1),
+               InvalidArgument);
+
+  // The run path is guarded too, not only the factory.
+  Gen1Link link(sim::gen1_fast(), 1);
+  Rng rng(5);
+  EXPECT_THROW((void)link.run_packet(interferer, rng), InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// uwb_sweep: the sweep-engine CLI. One declarative entry point for every
+// link scenario -- registry-built or loaded from a JSON spec file -- with
+// process-level sharding on the engine's deterministic seeding contract.
+//
+//   uwb_sweep --list
+//   uwb_sweep gen2_cm_grid --fast --workers 4 --out bench/results/grid.json
+//   uwb_sweep gen2_cm_grid channel=CM3,CM4 ebn0_db=12 --shard 0/2
+//   uwb_sweep gen2_cm_grid --dump-scenario spec.json
+//   uwb_sweep --file spec.json --seed 7 --out run.json
+//   uwb_sweep --merge s0.json s1.json --out merged.json
+//
+// Shard semantics: "--shard i/N" runs the points whose global plan index is
+// congruent to i mod N. Seeding is keyed on the global index, so the N
+// shards together measure exactly the unsharded point set, and merging
+// their JSON outputs (--merge) reproduces the unsharded file byte for byte.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "engine/scenario_registry.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
+#include "io/result_io.h"
+#include "io/spec_io.h"
+
+namespace {
+
+using namespace uwb;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage:\n"
+               "  uwb_sweep --list\n"
+               "      List the registered scenarios.\n"
+               "  uwb_sweep <scenario> [axis=value[,value...] ...] [options]\n"
+               "      Run a registered scenario, optionally restricted to the given\n"
+               "      axis values (unknown axes and unmatched values are errors).\n"
+               "  uwb_sweep --file <spec.json> [axis=value ...] [options]\n"
+               "      Run a scenario loaded from a JSON spec file.\n"
+               "  uwb_sweep --merge <shard.json> <shard.json>... --out <path>\n"
+               "      Merge shard result files into one document.\n"
+               "\n"
+               "options:\n"
+               "  --workers N        worker threads (default: all cores)\n"
+               "  --seed S           sweep seed (default: the engine default)\n"
+               "  --shard i/N        run only points with index %% N == i\n"
+               "  --fast             shrink the stopping rule (min_errors/4, max_bits/8)\n"
+               "  --min-errors E, --max-bits B, --max-trials T\n"
+               "                     stopping rule (defaults: 40, 120000, 100000)\n"
+               "  --out PATH         write results to PATH (.json or .csv)\n"
+               "  --dump-scenario P  serialize the expanded scenario spec to P and,\n"
+               "                     unless --out is also given, exit without sweeping\n"
+               "  --quiet            no console table\n");
+  return out == stdout ? 0 : 2;
+}
+
+struct Args {
+  bool list = false;
+  bool quiet = false;
+  bool fast = false;
+  std::string scenario;
+  std::string spec_file;
+  std::vector<std::string> merge_inputs;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::string out_path;
+  std::string dump_scenario_path;
+  engine::SweepConfig sweep;
+};
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  // strtoull silently wraps "-1" to 2^64-1; an explicit sign is an error.
+  detail::require(!text.empty() && std::isdigit(static_cast<unsigned char>(text[0])) &&
+                      end == text.c_str() + text.size() && errno != ERANGE,
+                  std::string("bad value for ") + what + ": '" + text + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+void parse_shard(const std::string& text, engine::SweepConfig& sweep) {
+  const auto slash = text.find('/');
+  detail::require(slash != std::string::npos,
+                  "--shard expects i/N, got '" + text + "'");
+  sweep.shard_index = parse_u64(text.substr(0, slash), "--shard index");
+  sweep.shard_count = parse_u64(text.substr(slash + 1), "--shard count");
+  detail::require(sweep.shard_count >= 1 && sweep.shard_index < sweep.shard_count,
+                  "--shard needs 0 <= i < N, got '" + text + "'");
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.sweep.stop.min_errors = 40;
+  args.sweep.stop.max_bits = 120000;
+  args.sweep.stop.max_trials = 100000;
+
+  auto next = [&](int& i, const char* flag) -> std::string {
+    detail::require(i + 1 < argc, std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+
+  bool merging = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") args.list = true;
+    else if (arg == "--quiet") args.quiet = true;
+    else if (arg == "--fast") args.fast = true;
+    else if (arg == "--file") args.spec_file = next(i, "--file");
+    else if (arg == "--merge") merging = true;
+    else if (arg == "--workers") args.sweep.workers = parse_u64(next(i, "--workers"), "--workers");
+    else if (arg == "--seed") args.sweep.seed = parse_u64(next(i, "--seed"), "--seed");
+    else if (arg == "--shard") parse_shard(next(i, "--shard"), args.sweep);
+    else if (arg == "--min-errors")
+      args.sweep.stop.min_errors = parse_u64(next(i, "--min-errors"), "--min-errors");
+    else if (arg == "--max-bits")
+      args.sweep.stop.max_bits = parse_u64(next(i, "--max-bits"), "--max-bits");
+    else if (arg == "--max-trials")
+      args.sweep.stop.max_trials = parse_u64(next(i, "--max-trials"), "--max-trials");
+    else if (arg == "--out") args.out_path = next(i, "--out");
+    else if (arg == "--dump-scenario") args.dump_scenario_path = next(i, "--dump-scenario");
+    else if (arg == "--help" || arg == "-h") std::exit(usage(stdout));
+    else if (arg.rfind("--", 0) == 0)
+      throw InvalidArgument("unknown option '" + arg + "'");
+    else if (merging) args.merge_inputs.push_back(arg);
+    else if (arg.find('=') != std::string::npos) {
+      const auto eq = arg.find('=');
+      args.overrides.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else {
+      detail::require(args.scenario.empty(),
+                      "more than one scenario name given ('" + args.scenario +
+                          "' and '" + arg + "')");
+      args.scenario = arg;
+    }
+  }
+  if (args.fast) {
+    // Same scaling as the benches' fast mode, clamped so a small budget can
+    // never degenerate to zero.
+    args.sweep.stop.min_errors = std::max<std::size_t>(1, args.sweep.stop.min_errors / 4);
+    args.sweep.stop.max_bits = std::max<std::size_t>(1, args.sweep.stop.max_bits / 8);
+  }
+  return args;
+}
+
+int run_list() {
+  const auto& registry = engine::ScenarioRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const engine::ScenarioSpec spec = registry.make(name);
+    std::printf("%-24s %3zu points  %s\n", name.c_str(), spec.points.size(),
+                spec.description.c_str());
+  }
+  return 0;
+}
+
+int run_merge(const Args& args) {
+  detail::require(args.merge_inputs.size() >= 2,
+                  "--merge needs at least two input files");
+  detail::require(!args.out_path.empty(), "--merge needs --out");
+  std::vector<io::ResultDoc> shards;
+  for (const std::string& path : args.merge_inputs) {
+    std::ifstream in(path, std::ios::binary);
+    detail::require(in.good(), "cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    shards.push_back(io::parse_result_json(buffer.str()));
+  }
+  const io::ResultDoc merged = io::merge_results(shards);
+  std::ofstream out(args.out_path, std::ios::binary | std::ios::trunc);
+  detail::require(out.good(), "cannot open '" + args.out_path + "' for writing");
+  out << io::write_result_json(merged);
+  detail::require(out.good(), "write to '" + args.out_path + "' failed");
+  std::printf("merged %zu shards (%zu points) -> %s\n", shards.size(),
+              merged.points.size(), args.out_path.c_str());
+  return 0;
+}
+
+int run_sweep(const Args& args) {
+  engine::ScenarioSpec scenario;
+  if (!args.spec_file.empty()) {
+    scenario = io::load_scenario_file(args.spec_file);
+  } else {
+    scenario = engine::ScenarioRegistry::global().make(args.scenario);
+  }
+  for (const auto& [axis, values] : args.overrides) {
+    engine::restrict_scenario(scenario, axis, values);
+  }
+
+  if (!args.dump_scenario_path.empty()) {
+    io::save_scenario_file(scenario, args.dump_scenario_path);
+    std::printf("scenario spec (%zu points) -> %s\n", scenario.points.size(),
+                args.dump_scenario_path.c_str());
+    // Dump-only unless the caller also asked for results: the dump-then-
+    // edit workflow must not spend minutes sweeping just to get a file.
+    if (args.out_path.empty()) return 0;
+  }
+
+  engine::ConsoleTableSink console;
+  std::optional<engine::JsonSink> json;
+  std::optional<engine::CsvSink> csv;
+  std::vector<engine::ResultSink*> sinks;
+  if (!args.quiet) sinks.push_back(&console);
+  if (!args.out_path.empty()) {
+    const bool is_csv = args.out_path.size() >= 4 &&
+                        args.out_path.compare(args.out_path.size() - 4, 4, ".csv") == 0;
+    if (is_csv) {
+      csv.emplace(args.out_path);
+      sinks.push_back(&*csv);
+    } else {
+      json.emplace(args.out_path);
+      sinks.push_back(&*json);
+    }
+  }
+
+  engine::SweepEngine engine(args.sweep);
+  const engine::SweepResult result = engine.run(scenario, sinks);
+  if (!args.out_path.empty()) {
+    std::printf("%zu points -> %s\n", result.records.size(), args.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.list) return run_list();
+    if (!args.merge_inputs.empty()) return run_merge(args);
+    if (args.scenario.empty() && args.spec_file.empty()) return usage(stderr);
+    detail::require(args.scenario.empty() || args.spec_file.empty(),
+                    "give either a scenario name or --file, not both");
+    return run_sweep(args);
+  } catch (const uwb::Error& e) {
+    std::fprintf(stderr, "uwb_sweep: %s\n", e.what());
+    return 1;
+  }
+}
