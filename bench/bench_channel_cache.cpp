@@ -1,0 +1,191 @@
+// Channel-ensemble cache bench: what sharing Saleh-Valenzuela realizations
+// across trials and sweep points buys (see engine/channel_cache.h and
+// docs/channel_cache.md).
+//
+// Two measurements land in bench/results/BENCH_channel_cache.json so the
+// trajectory accumulates PR over PR (CI runs this in fast mode and uploads
+// the JSON as an artifact):
+//
+//  * rows[]: per-CM packets/sec through one gen-2 link, fresh per-trial
+//    S-V draws vs a precomputed 16-realization ensemble (identical trial
+//    streams otherwise; the delta is the per-trial generation cost).
+//  * grid: draws-per-grid for a gen2_cm_grid channel-axis group run on the
+//    sweep engine -- fresh mode pays one S-V draw per multipath trial,
+//    ensemble mode pays exactly `count` per group -- plus the measured
+//    sweep wall-clock both ways.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/channel_cache.h"
+#include "engine/scenario_registry.h"
+#include "engine/sweep_engine.h"
+#include "sim/scenario.h"
+#include "txrx/link.h"
+
+namespace {
+
+using namespace uwb;
+
+constexpr std::size_t kEnsembleCount = 16;
+
+struct CacheRow {
+  std::string channel;
+  std::size_t trials = 0;
+  double fresh_pps = 0.0;
+  double cached_pps = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return fresh_pps > 0.0 ? cached_pps / fresh_pps : 0.0;
+  }
+};
+
+struct GridNumbers {
+  std::string scenario;
+  std::size_t trials = 0;
+  std::size_t fresh_sv_draws = 0;   ///< one per committed multipath trial
+  std::size_t cached_sv_draws = 0;  ///< cache-reported: count per group
+  std::size_t ensemble_count = 0;
+  double fresh_s = 0.0;
+  double cached_s = 0.0;
+};
+
+template <typename TrialFn>
+double packets_per_sec(std::size_t trials, uint64_t seed, TrialFn&& run_trial) {
+  const Rng root(seed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng trial_rng = root.fork(i);
+    run_trial(i, trial_rng);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count() > 0.0 ? static_cast<double>(trials) / elapsed.count() : 0.0;
+}
+
+CacheRow measure_link(int cm, std::size_t trials, uint64_t seed) {
+  txrx::Gen2Link link(sim::gen2_fast(), seed);
+  txrx::TrialOptions fresh_options;
+  fresh_options.cm = cm;
+  fresh_options.ebn0_db = 14.0;
+  fresh_options.payload_bits = 300;
+
+  txrx::TrialOptions cached_options = fresh_options;
+  cached_options.channel_source.mode = txrx::ChannelSource::Mode::kEnsemble;
+  cached_options.channel_source.ensemble_count = kEnsembleCount;
+  const engine::ChannelEnsemble ensemble = engine::make_ensemble(
+      channel::cm_by_index(cm), cached_options.channel_source.ensemble_seed, kEnsembleCount);
+
+  CacheRow row{"CM" + std::to_string(cm), trials, 0.0, 0.0};
+  row.fresh_pps = packets_per_sec(trials, seed, [&](std::size_t, Rng& rng) {
+    (void)link.run_packet(fresh_options, rng);
+  });
+  row.cached_pps = packets_per_sec(trials, seed, [&](std::size_t i, Rng& rng) {
+    txrx::TrialContext context;
+    context.channel = &ensemble.realization_for_trial(i);
+    (void)link.run_packet(cached_options, rng, context);
+  });
+  return row;
+}
+
+GridNumbers measure_grid(uint64_t seed) {
+  // One channel-axis group of the registry's gen2_cm_grid: CM3 across the
+  // full Eb/N0 x backend grid (6 points sharing one ensemble).
+  engine::ScenarioSpec scenario = engine::ScenarioRegistry::global().make("gen2_cm_grid");
+  engine::restrict_scenario(scenario, "channel", "CM3");
+
+  GridNumbers grid;
+  grid.scenario = "gen2_cm_grid channel=CM3";
+  grid.ensemble_count = kEnsembleCount;
+
+  engine::SweepConfig config;
+  config.seed = seed;
+  config.workers = bench::worker_count();
+  config.stop = bench::stop_rule(20, 20000);
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const engine::SweepResult fresh = engine::SweepEngine(config).run(scenario);
+    grid.fresh_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                       .count();
+    for (const auto& record : fresh.records) {
+      grid.trials += record.ber.trials;
+      grid.fresh_sv_draws += record.ber.trials;  // fresh mode: one draw per trial
+    }
+  }
+  {
+    for (engine::PointSpec& point : scenario.points) {
+      point.link.options.channel_source.mode = txrx::ChannelSource::Mode::kEnsemble;
+      point.link.options.channel_source.ensemble_count = kEnsembleCount;
+    }
+    engine::ChannelCache cache;  // private instance: exact draw accounting
+    config.channel_cache = &cache;
+    const auto start = std::chrono::steady_clock::now();
+    (void)engine::SweepEngine(config).run(scenario);
+    grid.cached_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                        .count();
+    grid.cached_sv_draws = cache.stats().sv_draws;
+  }
+  return grid;
+}
+
+void write_json(const std::string& path, const std::vector<CacheRow>& rows,
+                const GridNumbers& grid) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n  \"bench\": \"channel_cache\",\n";
+  out << "  \"fast_mode\": " << (bench::fast_mode() ? "true" : "false") << ",\n";
+  out << "  \"ensemble_count\": " << kEnsembleCount << ",\n";
+  out << "  \"unit\": \"packets_per_sec\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CacheRow& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"gen\": \"gen2\", \"channel\": \"%s\", \"trials\": %zu, "
+                  "\"fresh_pps\": %.3f, \"cached_pps\": %.3f, \"speedup\": %.3f}%s\n",
+                  r.channel.c_str(), r.trials, r.fresh_pps, r.cached_pps, r.speedup(),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"grid\": {\"scenario\": \"%s\", \"trials\": %zu, "
+                "\"fresh_sv_draws\": %zu, \"cached_sv_draws\": %zu, "
+                "\"ensemble_count\": %zu, \"fresh_s\": %.3f, \"cached_s\": %.3f}\n",
+                grid.scenario.c_str(), grid.trials, grid.fresh_sv_draws,
+                grid.cached_sv_draws, grid.ensemble_count, grid.fresh_s, grid.cached_s);
+  out << buf << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = 0xCACE;
+  bench::print_header("CHANNEL CACHE", "fresh per-trial S-V draws vs shared ensemble", seed);
+
+  const std::size_t trials = bench::fast_mode() ? 8 : 48;
+  std::vector<CacheRow> rows;
+  for (int cm = 1; cm <= 4; ++cm) {
+    rows.push_back(measure_link(cm, trials, seed + static_cast<uint64_t>(cm)));
+    std::printf("  gen2 %-4s  %8.2f -> %8.2f pkt/s  (%.2fx)\n", rows.back().channel.c_str(),
+                rows.back().fresh_pps, rows.back().cached_pps, rows.back().speedup());
+  }
+
+  const GridNumbers grid = measure_grid(seed);
+  std::printf("\n  %s: %zu committed trials\n", grid.scenario.c_str(), grid.trials);
+  std::printf("  S-V draws: fresh %zu vs cached %zu (ensemble of %zu shared by the group)\n",
+              grid.fresh_sv_draws, grid.cached_sv_draws, grid.ensemble_count);
+  std::printf("  sweep wall-clock: %.2f s fresh, %.2f s cached\n", grid.fresh_s,
+              grid.cached_s);
+
+  const std::string path = "bench/results/BENCH_channel_cache.json";
+  write_json(path, rows, grid);
+  std::printf("\n(results: %s)\n", path.c_str());
+  return 0;
+}

@@ -1,12 +1,19 @@
 // E12 (Section 3): the discrete prototype allows "the comparison between
 // different modulation schemes" within a 500 MHz bandwidth. BER vs Eb/N0
 // for BPSK / OOK / 2-PPM / 4-PAM on the same pulse engine, against theory.
+//
+// Runs on the parallel sweep engine via the "gen2_modulation" registry
+// scenario (modulation x Eb/N0 grid); raw points land in
+// bench/results/gen2_modulation.json.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/math_utils.h"
-#include "sim/scenario.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
 
 int main() {
   using namespace uwb;
@@ -14,32 +21,39 @@ int main() {
   bench::print_header("E12 / Section 3", "modulation comparison on the 500 MHz pulse engine",
                       seed);
 
-  const phy::Modulation schemes[] = {phy::Modulation::kBpsk, phy::Modulation::kOok,
-                                     phy::Modulation::kPpm, phy::Modulation::kPam4};
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
+  sweep_config.stop = bench::stop_rule(40, 100000);
+
+  engine::JsonSink json(engine::default_result_path("gen2_modulation", "json"));
+  engine::SweepEngine sweep(sweep_config);
+  const engine::SweepResult result = sweep.run_named("gen2_modulation", {&json});
+
+  const std::vector<std::string> schemes = {"bpsk", "ook", "ppm", "pam4"};
+  const std::vector<std::string> ebn0s = {"8", "12", "16"};
 
   sim::Table table({"Eb/N0", "BPSK", "OOK", "2-PPM", "4-PAM"});
-  for (double ebn0 : {6.0, 8.0, 10.0}) {
-    std::vector<std::string> row = {sim::Table::db(ebn0, 0)};
-    for (auto scheme : schemes) {
-      txrx::Gen2Config config = sim::gen2_fast();
-      config.modulation = scheme;
-      config.use_mlse = false;
-
-      txrx::Gen2Link link(config, seed);
-      txrx::TrialOptions options;
-      options.payload_bits = 400;
-      options.ebn0_db = ebn0;
-
-      const auto stop = bench::stop_rule(40, 100000);
-      row.push_back(sim::Table::sci(bench::link_ber(link, options, stop).ber));
+  for (const std::string& ebn0 : ebn0s) {
+    std::vector<std::string> row = {ebn0 + " dB"};
+    for (const std::string& tag : schemes) {
+      const engine::PointRecord* point =
+          result.find({{"modulation", tag}, {"ebn0_db", ebn0}});
+      if (point == nullptr) {
+        std::fprintf(stderr, "bench_modulation: no point for modulation=%s ebn0_db=%s\n",
+                     tag.c_str(), ebn0.c_str());
+        return 1;
+      }
+      row.push_back(sim::Table::sci(point->ber.ber));
     }
     table.add_row(row);
   }
   std::printf("%s", table.to_string().c_str());
+  std::printf("\n(results: %s)\n", json.path().c_str());
 
   std::printf("\nTheory at the same Eb/N0 (for reference):\n\n");
   sim::Table theory({"Eb/N0", "BPSK", "OOK", "2-PPM", "4-PAM"});
-  for (double ebn0 : {6.0, 8.0, 10.0}) {
+  for (double ebn0 : {8.0, 12.0, 16.0}) {
     const double lin = from_db(ebn0);
     theory.add_row({sim::Table::db(ebn0, 0), sim::Table::sci(bpsk_awgn_ber(lin)),
                     sim::Table::sci(ook_awgn_ber(lin)), sim::Table::sci(ppm_awgn_ber(lin)),

@@ -37,7 +37,7 @@ sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
   std::size_t trials = 0;
   while (keep_going(counter, trials, stop)) {
     Rng trial_rng = root.fork(trials);
-    const sim::TrialOutcome out = trial(trial_rng);
+    const sim::TrialOutcome out = trial(trials, trial_rng);
     counter.add(out.errors, out.bits);
     ++trials;
   }
@@ -89,7 +89,7 @@ sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerSt
         }
 
         Rng trial_rng = root.fork(index);
-        const sim::TrialOutcome out = trial(trial_rng);
+        const sim::TrialOutcome out = trial(index, trial_rng);
 
         std::lock_guard<std::mutex> lock(shared.mutex);
         if (shared.stopped) break;

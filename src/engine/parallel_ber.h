@@ -19,9 +19,13 @@
 
 namespace uwb::engine {
 
-/// One Monte-Carlo trial: a pure function of its per-trial Rng (plus
-/// worker-local state captured by the closure, e.g. a txrx link).
-using TrialFn = std::function<sim::TrialOutcome(Rng&)>;
+/// One Monte-Carlo trial: a pure function of its trial index and per-trial
+/// Rng (plus worker-local state captured by the closure, e.g. a txrx
+/// link). The index carries no extra randomness -- rng is already
+/// root.fork(index) -- but lets index-keyed shared state (an ensemble's
+/// realization `index % count`, see engine/channel_cache.h) stay
+/// deterministic for any worker count.
+using TrialFn = std::function<sim::TrialOutcome(std::size_t index, Rng& rng)>;
 
 /// Called once per worker to build worker-local state and return the trial
 /// closure. The factory MUST produce closures whose outcome depends only on

@@ -194,6 +194,7 @@ void register_builtins(ScenarioRegistry& registry) {
         .axis("modulation",
               {{"bpsk", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kBpsk;
+                  c.use_mlse = false;  // MLSE off everywhere: isolate the mapping
                 }},
                {"ook", [](txrx::Gen2Config& c, txrx::TrialOptions&) {
                   c.modulation = phy::Modulation::kOok;
@@ -208,6 +209,50 @@ void register_builtins(ScenarioRegistry& registry) {
                   c.use_mlse = false;
                 }}})
         .ebn0_grid({8.0, 12.0, 16.0});
+    return builder.build();
+  });
+
+  registry.add("gen2_adc_resolution", [] {
+    // E5's grid: BER vs SAR resolution, noise-limited vs a strong CW
+    // interferer vs interferer + auto notch (ref [1]'s "1 bit suffices
+    // noise-limited, 4 bits with an interferer").
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.ebn0_db = 10.0;
+    Gen2ScenarioBuilder builder("gen2_adc_resolution", sim::gen2_fast(), options);
+    builder
+        .description("BER vs SAR ADC resolution: noise-limited vs CW interferer vs notch")
+        .axis("adc_bits",
+              [] {
+                std::vector<Gen2Variant> variants;
+                for (int bits : {1, 2, 3, 4, 5, 6}) {
+                  variants.push_back({std::to_string(bits),
+                                      [bits](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                                        c.sar.bits = bits;
+                                        c.use_mlse = false;  // isolate the converter
+                                      }});
+                }
+                return variants;
+              }())
+        .axis("regime",
+              {{"clean",
+                [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                  o.run_spectral_monitor = false;
+                }},
+               {"interferer",
+                [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                  o.interferer = true;
+                  o.interferer_sir_db = -15.0;
+                  o.interferer_freq_hz = 140e6;
+                  o.run_spectral_monitor = true;
+                }},
+               {"notched", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                  o.interferer = true;
+                  o.interferer_sir_db = -15.0;
+                  o.interferer_freq_hz = 140e6;
+                  o.run_spectral_monitor = true;
+                  o.auto_notch = true;  // the paper's mitigation: monitor + notch
+                }}});
     return builder.build();
   });
 

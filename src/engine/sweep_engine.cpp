@@ -16,12 +16,18 @@ constexpr uint64_t kLinkSeedSalt = 1;
 
 /// Worker-local trial state for one grid point: the factory hands every
 /// worker its own link (links are not safe for concurrent trials), all
-/// built from the same seed so the simulated hardware is identical.
-TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed) {
-  return [&spec, link_seed]() -> TrialFn {
+/// built from the same seed so the simulated hardware is identical. For
+/// ensemble-mode points the shared realizations ride along and trial i
+/// resolves to realization i % count -- index-keyed, so any worker gets
+/// the same channel for the same trial.
+TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed,
+                                std::shared_ptr<const ChannelEnsemble> ensemble) {
+  return [&spec, link_seed, ensemble]() -> TrialFn {
     std::shared_ptr<txrx::Link> link = txrx::make_link(spec.link, link_seed);
-    return [&spec, link](Rng& rng) {
-      const txrx::TrialResult trial = link->run_packet(spec.link.options, rng);
+    return [&spec, link, ensemble](std::size_t index, Rng& rng) {
+      txrx::TrialContext context;
+      if (ensemble != nullptr) context.channel = &ensemble->realization_for_trial(index);
+      const txrx::TrialResult trial = link->run_packet(spec.link.options, rng, context);
       return sim::TrialOutcome{trial.bits, trial.errors};
     };
   };
@@ -80,6 +86,9 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
   // each point. That keeps sink delivery in plan order and makes every
   // point's result an independent pure function of (seed, point_index) --
   // including under sharding, which only skips points and never re-indexes.
+  ChannelCache& cache =
+      config_.channel_cache != nullptr ? *config_.channel_cache : ChannelCache::global();
+
   for (std::size_t p = 0; p < scenario.points.size(); ++p) {
     if (p % config_.shard_count != config_.shard_index) continue;
     const PointSpec& spec = scenario.points[p];
@@ -87,9 +96,22 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     const Rng trial_root = point_root.fork(kTrialStreamSalt);
     const uint64_t link_seed = point_root.fork(kLinkSeedSalt).seed();
 
+    // Ensemble-mode multipath points share one realization set per
+    // channel-axis group: the cache key is pure spec content (SvParams
+    // fingerprint, ensemble seed, count), so every SNR/backend point of a
+    // group -- in this process or any shard -- resolves the same ensemble.
+    std::shared_ptr<const ChannelEnsemble> ensemble;
+    const txrx::ChannelSource& source = spec.link.options.channel_source;
+    if (source.is_ensemble() && spec.link.options.cm >= 1) {
+      ensemble = cache.get(
+          txrx::ensemble_sv_params(spec.link.options.cm, spec.link.generation()),
+          source.ensemble_seed, source.ensemble_count);
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    const sim::BerPoint ber = measure_ber_parallel(make_trial_factory(spec, link_seed),
-                                                   config_.stop, trial_root, pool);
+    const sim::BerPoint ber = measure_ber_parallel(
+        make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
+        pool);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
     PointRecord record;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/channel_cache.h"
 #include "engine/parallel_ber.h"
 #include "engine/scenario_registry.h"
 #include "engine/sinks.h"
@@ -46,6 +47,12 @@ struct SweepConfig {
   /// exactly. The default 0/1 runs everything.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+
+  /// Where ensemble-mode points resolve their channel realizations
+  /// (nullptr = ChannelCache::global()). An ensemble's content is a pure
+  /// function of its ChannelSource key, never of the cache instance, so
+  /// this only controls sharing/accounting -- results don't change.
+  ChannelCache* channel_cache = nullptr;
 };
 
 /// A completed sweep: the metadata plus every measured point's record in

@@ -68,6 +68,16 @@ equalizer::FingerPolicy finger_policy_from_name(const std::string& name) {
 
 std::string generation_json_name(txrx::Generation gen) { return txrx::to_string(gen); }
 
+std::string channel_mode_name(txrx::ChannelSource::Mode mode) {
+  return mode == txrx::ChannelSource::Mode::kFresh ? "fresh" : "ensemble";
+}
+
+txrx::ChannelSource::Mode channel_mode_from_name(const std::string& name) {
+  if (name == "fresh") return txrx::ChannelSource::Mode::kFresh;
+  if (name == "ensemble") return txrx::ChannelSource::Mode::kEnsemble;
+  throw InvalidArgument("spec: unknown channel_source mode '" + name + "'");
+}
+
 txrx::Generation generation_from_name(const std::string& name) {
   if (name == "gen1") return txrx::Generation::kGen1;
   if (name == "gen2") return txrx::Generation::kGen2;
@@ -81,6 +91,25 @@ txrx::Generation generation_from_name(const std::string& name) {
 std::size_t as_size(const JsonValue& v) { return static_cast<std::size_t>(v.as_uint64()); }
 
 // --------------------------------------------------------- nested structs ----
+
+JsonValue to_json(const txrx::ChannelSource& source) {
+  JsonValue out = JsonValue::object();
+  out.set("mode", JsonValue::string(channel_mode_name(source.mode)));
+  out.set("ensemble_seed", JsonValue::number(source.ensemble_seed));
+  out.set("ensemble_count", JsonValue::number(static_cast<uint64_t>(source.ensemble_count)));
+  return out;
+}
+
+txrx::ChannelSource channel_source_from_json(const JsonValue& v) {
+  txrx::ChannelSource source;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "mode") source.mode = channel_mode_from_name(val.as_string());
+    else if (key == "ensemble_seed") source.ensemble_seed = val.as_uint64();
+    else if (key == "ensemble_count") source.ensemble_count = as_size(val);
+    else unknown_key("channel_source", key);
+  }
+  return source;
+}
 
 JsonValue to_json(const fec::ConvCode& code) {
   JsonValue out = JsonValue::object();
@@ -309,6 +338,7 @@ estimation::ChannelEstimatorConfig chanest_from_json(const JsonValue& v) {
 JsonValue to_json(const txrx::TrialOptions& options) {
   JsonValue out = JsonValue::object();
   out.set("cm", JsonValue::number(options.cm));
+  out.set("channel_source", to_json(options.channel_source));
   out.set("ebn0_db", JsonValue::number(options.ebn0_db));
   out.set("payload_bits", JsonValue::number(options.payload_bits));
   out.set("genie_timing", JsonValue::boolean(options.genie_timing));
@@ -327,6 +357,7 @@ txrx::TrialOptions trial_options_from_json(const JsonValue& v, txrx::TrialOption
   txrx::TrialOptions options = std::move(base);
   for (const auto& [key, val] : v.members()) {
     if (key == "cm") options.cm = val.as_int();
+    else if (key == "channel_source") options.channel_source = channel_source_from_json(val);
     else if (key == "ebn0_db") options.ebn0_db = val.as_double();
     else if (key == "payload_bits") options.payload_bits = as_size(val);
     else if (key == "genie_timing") options.genie_timing = val.as_bool();

@@ -7,7 +7,8 @@ namespace uwb::sim {
 BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop) {
   // Thin adapter over the engine's serial core: the closure owns its
   // randomness, so the per-trial Rng the engine supplies is unused here.
-  return engine::measure_ber_serial([&trial](Rng&) { return trial(); }, stop, Rng(0));
+  return engine::measure_ber_serial([&trial](std::size_t, Rng&) { return trial(); }, stop,
+                                    Rng(0));
 }
 
 }  // namespace uwb::sim

@@ -39,9 +39,40 @@ void require_supported(const LinkCaps& caps, const TrialOptions& options) {
     detail::require(!options.fec.has_value(),
                     to_string(caps.generation) + " link does not support an outer FEC");
   }
+  if (options.channel_source.is_ensemble()) {
+    detail::require(options.channel_source.ensemble_count >= 1,
+                    "ensemble channel source needs ensemble_count >= 1");
+  }
+}
+
+/// The realization an ensemble-mode multipath trial must use. Loud when the
+/// harness forgot to resolve one: drawing fresh would silently run a
+/// different experiment than the spec describes.
+const channel::Cir* ensemble_channel_or_throw(const TrialOptions& options,
+                                              const TrialContext& context) {
+  if (context.channel != nullptr) {
+    // The inverse mismatch is equally silent-experiment-shaped: a resolved
+    // realization alongside fresh-mode options means the caller forgot one
+    // side or the other.
+    detail::require(options.channel_source.is_ensemble(),
+                    "TrialContext carries a channel realization but "
+                    "options.channel_source is fresh-mode");
+    return context.channel;
+  }
+  detail::require(!options.channel_source.is_ensemble() || options.cm < 1,
+                  "ensemble channel source needs a resolved realization in TrialContext "
+                  "(run through engine::SweepEngine, or resolve one via "
+                  "engine::ChannelCache and pass it explicitly)");
+  return nullptr;
 }
 
 }  // namespace
+
+channel::SvParams ensemble_sv_params(int cm, Generation gen) {
+  channel::SvParams params = channel::cm_by_index(cm);
+  params.complex_phases = gen == Generation::kGen2;
+  return params;
+}
 
 // ------------------------------------------------------------- LinkSpec ----
 
@@ -106,8 +137,9 @@ Gen2Link::Gen2Link(const Gen2Config& config, uint64_t seed)
   caps_.bit_rate_hz = config_.bit_rate_hz();
 }
 
-TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng) {
-  const Gen2TrialResult trial = run_packet_full(options, rng);
+TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng,
+                                 const TrialContext& context) {
+  const Gen2TrialResult trial = run_packet_full(options, rng, context);
   TrialResult out;
   out.bits = trial.bits;
   out.errors = trial.errors;
@@ -117,7 +149,8 @@ TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng) {
   return out;
 }
 
-Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng) {
+Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
+                                          const TrialContext& context) {
   Gen2TrialResult trial;
 
   // Transmit. With an outer code the on-air payload is the codeword.
@@ -138,11 +171,16 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng)
     wave.delay_samples(delay);
   }
 
-  // Multipath.
+  // Multipath: the context's resolved ensemble realization when one was
+  // provided, a fresh per-trial draw otherwise.
   CplxWaveform rx_wave = std::move(wave);
   if (options.cm >= 1) {
-    const channel::SalehValenzuela sv(channel::cm_by_index(options.cm));
-    trial.true_channel = sv.realize(rng);
+    if (const channel::Cir* fixed = ensemble_channel_or_throw(options, context)) {
+      trial.true_channel = *fixed;
+    } else {
+      const channel::SalehValenzuela sv(channel::cm_by_index(options.cm));
+      trial.true_channel = sv.realize(rng);
+    }
     rx_wave = trial.true_channel.apply(rx_wave);
   } else {
     trial.true_channel = channel::identity_cir();
@@ -219,12 +257,18 @@ Gen1Link::Gen1Link(const Gen1Config& config, uint64_t seed)
 
 namespace {
 
-RealWaveform apply_gen1_channel(RealWaveform wave, int cm, channel::Cir* out_cir, Rng& rng) {
-  if (cm >= 1) {
-    channel::SvParams params = channel::cm_by_index(cm);
-    params.complex_phases = false;  // real +/- polarity taps for passband
-    const channel::SalehValenzuela sv(params);
-    const channel::Cir cir = sv.realize(rng);
+RealWaveform apply_gen1_channel(RealWaveform wave, const TrialOptions& options,
+                                const TrialContext& context, channel::Cir* out_cir,
+                                Rng& rng) {
+  if (options.cm >= 1) {
+    channel::Cir cir;
+    if (const channel::Cir* fixed = ensemble_channel_or_throw(options, context)) {
+      cir = *fixed;
+    } else {
+      channel::SvParams params = channel::cm_by_index(options.cm);
+      params.complex_phases = false;  // real +/- polarity taps for passband
+      cir = channel::SalehValenzuela(params).realize(rng);
+    }
     if (out_cir != nullptr) *out_cir = cir;
     return cir.apply_real(wave);
   }
@@ -234,8 +278,9 @@ RealWaveform apply_gen1_channel(RealWaveform wave, int cm, channel::Cir* out_cir
 
 }  // namespace
 
-TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng) {
-  const Gen1TrialResult trial = run_packet_full(options, rng);
+TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng,
+                                 const TrialContext& context) {
+  const Gen1TrialResult trial = run_packet_full(options, rng, context);
   TrialResult out;
   out.bits = trial.bits;
   out.errors = trial.errors;
@@ -243,7 +288,8 @@ TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng) {
   return out;
 }
 
-Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng) {
+Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
+                                          const TrialContext& context) {
   require_supported(caps_, options);
   Gen1TrialResult trial;
 
@@ -258,7 +304,7 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng)
   }
   trial.true_offset_adc = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng);
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options, context, nullptr, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
@@ -298,7 +344,8 @@ Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& r
   }
   const std::size_t true_offset = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options.cm, nullptr, rng);
+  RealWaveform rx_wave =
+      apply_gen1_channel(std::move(wave), options, TrialContext{}, nullptr, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);

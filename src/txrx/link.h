@@ -33,6 +33,47 @@ enum class Generation { kGen1, kGen2 };
 /// Human-readable generation name ("gen1" / "gen2").
 std::string to_string(Generation gen);
 
+/// Where a trial's multipath realization comes from.
+///
+/// kFresh draws a new Saleh-Valenzuela realization from the trial Rng
+/// inside run_packet (the historical behavior). kEnsemble indexes into a
+/// precomputed ensemble keyed by (canonical SvParams fingerprint,
+/// ensemble_seed, ensemble_count): trial i uses realization
+/// `i % ensemble_count`, resolved by the sweep engine (or any caller) and
+/// handed to run_packet through TrialContext. Running an ensemble-mode
+/// trial on a multipath channel *without* a resolved realization throws --
+/// the spec promised shared channels, silently drawing fresh ones would be
+/// a different experiment. See engine/channel_cache.h.
+struct ChannelSource {
+  enum class Mode { kFresh, kEnsemble };
+
+  /// Default base seed for ensembles (any fixed value works; what matters
+  /// is that it is spec content, identical across shards and hosts).
+  static constexpr uint64_t kDefaultEnsembleSeed = 0xC1A0'5eed'0000'0001ULL;
+
+  Mode mode = Mode::kFresh;
+  uint64_t ensemble_seed = kDefaultEnsembleSeed;
+  std::size_t ensemble_count = 0;  ///< must be >= 1 in ensemble mode
+
+  [[nodiscard]] bool is_ensemble() const noexcept { return mode == Mode::kEnsemble; }
+  [[nodiscard]] bool operator==(const ChannelSource&) const = default;
+};
+
+/// Runtime-only companion to TrialOptions: state resolved per trial by the
+/// harness, never serialized. Today that is the ensemble realization the
+/// trial must use (null = draw fresh, the default).
+struct TrialContext {
+  const channel::Cir* channel = nullptr;
+};
+
+/// The S-V parameter set an ensemble-mode trial keys its ensemble on: the
+/// CM profile in the generation's tap convention (complex phases at gen-2
+/// complex baseband, +/-1 polarity for the gen-1 real passband). The ONE
+/// cm -> SvParams mapping every ensemble producer and consumer must share
+/// -- precompute writes store files under these keys, the sweep engine
+/// looks them up. \throws InvalidArgument for cm outside 1..4.
+[[nodiscard]] channel::SvParams ensemble_sv_params(int cm, Generation gen);
+
 /// Channel/impairment options for one packet trial, shared by both
 /// generations. Field defaults match the gen-2 100 Mbps link benches;
 /// default_options(Generation::kGen1) returns the gen-1 BER-run defaults
@@ -41,6 +82,7 @@ std::string to_string(Generation gen);
 /// LinkCaps for querying support up front.
 struct TrialOptions {
   int cm = 0;                    ///< 0 = AWGN only, 1..4 = 802.15.3a CM1..CM4
+  ChannelSource channel_source;  ///< fresh draw (default) vs shared ensemble
   double ebn0_db = 10.0;
   std::size_t payload_bits = 200;
   bool genie_timing = false;     ///< BER-only runs skip acquisition
@@ -116,13 +158,23 @@ class Link {
 
   /// Runs one packet. All trial randomness (payload, delay, channel
   /// realization, noise) is drawn from \p rng, so a trial's outcome is a
-  /// pure function of (spec, construction seed, rng).
-  /// \throws InvalidArgument when \p options uses a feature caps() lacks.
-  [[nodiscard]] virtual TrialResult run_packet(const TrialOptions& options, Rng& rng) = 0;
+  /// pure function of (spec, construction seed, rng) -- plus, for
+  /// ensemble-mode options, the realization in \p context (which the sweep
+  /// engine resolves as a pure function of the spec's ChannelSource key and
+  /// the trial index).
+  /// \throws InvalidArgument when \p options uses a feature caps() lacks,
+  ///         or asks for an ensemble channel without a resolved realization.
+  [[nodiscard]] virtual TrialResult run_packet(const TrialOptions& options, Rng& rng,
+                                               const TrialContext& context) = 0;
+
+  /// Fresh-channel overload (default TrialContext).
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng) {
+    return run_packet(options, rng, TrialContext{});
+  }
 
   /// Convenience overload on the link's own RNG (state advances).
   [[nodiscard]] TrialResult run_packet(const TrialOptions& options) {
-    return run_packet(options, rng_);
+    return run_packet(options, rng_, TrialContext{});
   }
 
   /// Direct access to the trial RNG (benches print the seed).
@@ -192,13 +244,18 @@ class Gen2Link final : public Link {
   [[nodiscard]] Gen2Transmitter& transmitter() noexcept { return tx_; }
   [[nodiscard]] Gen2Receiver& receiver() noexcept { return rx_; }
 
-  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng) override;
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng,
+                                       const TrialContext& context) override;
   using Link::run_packet;
 
   /// Full-diagnostics variant: receiver state, soft streams, true CIR.
-  [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options, Rng& rng);
+  [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options, Rng& rng,
+                                                const TrialContext& context);
+  [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options, Rng& rng) {
+    return run_packet_full(options, rng, TrialContext{});
+  }
   [[nodiscard]] Gen2TrialResult run_packet_full(const TrialOptions& options) {
-    return run_packet_full(options, rng_);
+    return run_packet_full(options, rng_, TrialContext{});
   }
 
  private:
@@ -228,13 +285,18 @@ class Gen1Link final : public Link {
   [[nodiscard]] Gen1Transmitter& transmitter() noexcept { return tx_; }
   [[nodiscard]] Gen1Receiver& receiver() noexcept { return rx_; }
 
-  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng) override;
+  [[nodiscard]] TrialResult run_packet(const TrialOptions& options, Rng& rng,
+                                       const TrialContext& context) override;
   using Link::run_packet;
 
   /// Full-diagnostics variant: acquisition result, decoded bits, offsets.
-  [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options, Rng& rng);
+  [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options, Rng& rng,
+                                                const TrialContext& context);
+  [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options, Rng& rng) {
+    return run_packet_full(options, rng, TrialContext{});
+  }
   [[nodiscard]] Gen1TrialResult run_packet_full(const TrialOptions& options) {
-    return run_packet_full(options, rng_);
+    return run_packet_full(options, rng_, TrialContext{});
   }
 
   /// Acquisition-only trial: returns the acquisition result plus whether

@@ -61,7 +61,7 @@ TEST(ThreadPool, SingleThreadPoolStillCompletes) {
 
 /// A stochastic synthetic trial: a pure function of its per-trial Rng,
 /// with variable bit counts so the bit/error budgets are both exercised.
-sim::TrialOutcome synthetic_trial(Rng& rng) {
+sim::TrialOutcome synthetic_trial(std::size_t /*index*/, Rng& rng) {
   const std::size_t bits = 50 + static_cast<std::size_t>(rng.uniform_int(0, 50));
   std::size_t errors = 0;
   for (std::size_t b = 0; b < bits; ++b) {
@@ -121,8 +121,8 @@ TEST(ParallelBer, MaxTrialsHardStopWithZeroBitTrials) {
   stop.max_trials = 9;
   ThreadPool pool(3);
   const sim::BerPoint point = measure_ber_parallel(
-      [] { return TrialFn([](Rng&) { return sim::TrialOutcome{0, 0}; }); }, stop, Rng(2),
-      pool);
+      [] { return TrialFn([](std::size_t, Rng&) { return sim::TrialOutcome{0, 0}; }); },
+      stop, Rng(2), pool);
   EXPECT_EQ(point.trials, 9u);
   EXPECT_EQ(point.bits, 0u);
   EXPECT_DOUBLE_EQ(point.ber, 0.0);
@@ -136,7 +136,7 @@ TEST(ParallelBer, DegenerateBudgetsRunNothing) {
   std::atomic<int> calls{0};
   const sim::BerPoint point = measure_ber_parallel(
       [&calls] {
-        return TrialFn([&calls](Rng&) {
+        return TrialFn([&calls](std::size_t, Rng&) {
           ++calls;
           return sim::TrialOutcome{1, 0};
         });

@@ -128,6 +128,29 @@ TEST(SpecIo, TrialOptionsRoundTripIncludingFec) {
   EXPECT_EQ(back.fec->generators, fec::k7_rate_half().generators);
 }
 
+TEST(SpecIo, ChannelSourceRoundTripAndStrictKeys) {
+  txrx::TrialOptions options;
+  options.cm = 3;
+  options.channel_source.mode = txrx::ChannelSource::Mode::kEnsemble;
+  options.channel_source.ensemble_seed = 0xC1A0'0000'0000'BEEFULL;  // 64-bit exact
+  options.channel_source.ensemble_count = 64;
+
+  const txrx::TrialOptions back =
+      trial_options_from_json(parse_json(dump_json(to_json(options))));
+  EXPECT_EQ(back.channel_source, options.channel_source);
+
+  // Fresh is the default for terse documents...
+  EXPECT_EQ(trial_options_from_json(parse_json("{}")).channel_source.mode,
+            txrx::ChannelSource::Mode::kFresh);
+  // ...and typos anywhere in the object fail loudly.
+  EXPECT_THROW((void)trial_options_from_json(
+                   parse_json(R"({"channel_source": {"ensembleCount": 4}})")),
+               InvalidArgument);
+  EXPECT_THROW((void)trial_options_from_json(
+                   parse_json(R"({"channel_source": {"mode": "ensembel"}})")),
+               InvalidArgument);
+}
+
 TEST(SpecIo, LinkSpecRoundTripIsTextStable) {
   // Serialize -> parse -> serialize must reproduce the text exactly, for
   // both generations (this pins every config field's formatting).

@@ -8,11 +8,20 @@
 //   uwb_sweep gen2_cm_grid --dump-scenario spec.json
 //   uwb_sweep --file spec.json --seed 7 --out run.json
 //   uwb_sweep --merge s0.json s1.json --out merged.json
+//   uwb_sweep precompute gen2_cm_grid --channel-ensemble 64 --channel-cache DIR
+//   uwb_sweep gen2_cm_grid --channel-ensemble 64 --channel-cache DIR --out run.json
 //
 // Shard semantics: "--shard i/N" runs the points whose global plan index is
 // congruent to i mod N. Seeding is keyed on the global index, so the N
 // shards together measure exactly the unsharded point set, and merging
 // their JSON outputs (--merge) reproduces the unsharded file byte for byte.
+//
+// Channel ensembles: "--channel-ensemble N" switches every multipath point
+// to a shared N-realization channel ensemble (common random numbers across
+// the Eb/N0/backend axes; trial i uses realization i % N). "precompute"
+// materializes those ensembles into the binary store ("--channel-cache",
+// default bench/results/channels) so sharded/remote runs load instead of
+// regenerate -- results are byte-identical either way (docs/channel_cache.md).
 
 #include <cctype>
 #include <cstdio>
@@ -25,9 +34,11 @@
 #include <vector>
 
 #include "common/error.h"
+#include "engine/channel_cache.h"
 #include "engine/scenario_registry.h"
 #include "engine/sinks.h"
 #include "engine/sweep_engine.h"
+#include "io/cir_io.h"
 #include "io/result_io.h"
 #include "io/spec_io.h"
 
@@ -47,6 +58,10 @@ int usage(std::FILE* out) {
                "      Run a scenario loaded from a JSON spec file.\n"
                "  uwb_sweep --merge <shard.json> <shard.json>... --out <path>\n"
                "      Merge shard result files into one document.\n"
+               "  uwb_sweep precompute <scenario|--file spec.json> [axis=value ...]\n"
+               "      Materialize the scenario's channel ensembles into the binary\n"
+               "      store (give --channel-ensemble N unless the spec already uses\n"
+               "      ensemble-mode channel sources).\n"
                "\n"
                "options:\n"
                "  --workers N        worker threads (default: all cores)\n"
@@ -55,6 +70,14 @@ int usage(std::FILE* out) {
                "  --fast             shrink the stopping rule (min_errors/4, max_bits/8)\n"
                "  --min-errors E, --max-bits B, --max-trials T\n"
                "                     stopping rule (defaults: 40, 120000, 100000)\n"
+               "  --channel-ensemble N\n"
+               "                     share one N-realization channel ensemble per CM\n"
+               "                     profile instead of drawing fresh per trial\n"
+               "  --channel-seed S   ensemble base seed (default: a fixed constant,\n"
+               "                     so every host derives the same ensembles)\n"
+               "  --channel-cache D  binary store directory consulted before\n"
+               "                     generating (default for precompute:\n"
+               "                     bench/results/channels)\n"
                "  --out PATH         write results to PATH (.json or .csv)\n"
                "  --dump-scenario P  serialize the expanded scenario spec to P and,\n"
                "                     unless --out is also given, exit without sweeping\n"
@@ -66,12 +89,16 @@ struct Args {
   bool list = false;
   bool quiet = false;
   bool fast = false;
+  bool precompute = false;
   std::string scenario;
   std::string spec_file;
   std::vector<std::string> merge_inputs;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::string out_path;
   std::string dump_scenario_path;
+  std::size_t channel_ensemble = 0;  ///< 0 = leave the spec's channel sources alone
+  std::optional<std::uint64_t> channel_seed;
+  std::string channel_cache_dir;
   engine::SweepConfig sweep;
 };
 
@@ -126,10 +153,19 @@ Args parse_args(int argc, char** argv) {
       args.sweep.stop.max_trials = parse_u64(next(i, "--max-trials"), "--max-trials");
     else if (arg == "--out") args.out_path = next(i, "--out");
     else if (arg == "--dump-scenario") args.dump_scenario_path = next(i, "--dump-scenario");
+    else if (arg == "--channel-ensemble") {
+      args.channel_ensemble = parse_u64(next(i, "--channel-ensemble"), "--channel-ensemble");
+      detail::require(args.channel_ensemble >= 1, "--channel-ensemble needs N >= 1");
+    }
+    else if (arg == "--channel-seed")
+      args.channel_seed = parse_u64(next(i, "--channel-seed"), "--channel-seed");
+    else if (arg == "--channel-cache") args.channel_cache_dir = next(i, "--channel-cache");
     else if (arg == "--help" || arg == "-h") std::exit(usage(stdout));
     else if (arg.rfind("--", 0) == 0)
       throw InvalidArgument("unknown option '" + arg + "'");
     else if (merging) args.merge_inputs.push_back(arg);
+    else if (arg == "precompute" && !args.precompute && args.scenario.empty())
+      args.precompute = true;
     else if (arg.find('=') != std::string::npos) {
       const auto eq = arg.find('=');
       args.overrides.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
@@ -146,7 +182,75 @@ Args parse_args(int argc, char** argv) {
     args.sweep.stop.min_errors = std::max<std::size_t>(1, args.sweep.stop.min_errors / 4);
     args.sweep.stop.max_bits = std::max<std::size_t>(1, args.sweep.stop.max_bits / 8);
   }
+  detail::require(!args.channel_seed.has_value() || args.channel_ensemble >= 1,
+                  "--channel-seed needs --channel-ensemble");
   return args;
+}
+
+/// Loads (--file) or expands (registry) the scenario, applies axis
+/// restrictions, and -- with --channel-ensemble N -- switches every point
+/// onto a shared N-realization channel ensemble.
+engine::ScenarioSpec resolve_scenario(const Args& args) {
+  engine::ScenarioSpec scenario;
+  if (!args.spec_file.empty()) {
+    scenario = io::load_scenario_file(args.spec_file);
+  } else {
+    scenario = engine::ScenarioRegistry::global().make(args.scenario);
+  }
+  for (const auto& [axis, values] : args.overrides) {
+    engine::restrict_scenario(scenario, axis, values);
+  }
+  if (args.channel_ensemble >= 1) {
+    txrx::ChannelSource source;
+    source.mode = txrx::ChannelSource::Mode::kEnsemble;
+    source.ensemble_count = args.channel_ensemble;
+    if (args.channel_seed.has_value()) source.ensemble_seed = *args.channel_seed;
+    for (engine::PointSpec& point : scenario.points) {
+      point.link.options.channel_source = source;
+    }
+  }
+  return scenario;
+}
+
+/// The distinct ensembles a plan resolves: one per (generation-adjusted CM
+/// profile, seed, count) -- AWGN and fresh-draw points contribute none.
+std::vector<std::pair<uwb::channel::SvParams, txrx::ChannelSource>> ensemble_groups(
+    const engine::ScenarioSpec& scenario) {
+  std::vector<std::pair<uwb::channel::SvParams, txrx::ChannelSource>> groups;
+  for (const engine::PointSpec& point : scenario.points) {
+    const txrx::ChannelSource& source = point.link.options.channel_source;
+    if (!source.is_ensemble() || point.link.options.cm < 1) continue;
+    uwb::channel::SvParams params =
+        txrx::ensemble_sv_params(point.link.options.cm, point.link.generation());
+    bool seen = false;
+    for (const auto& [p, s] : groups) {
+      if (engine::sv_fingerprint(p) == engine::sv_fingerprint(params) && s == source) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) groups.emplace_back(std::move(params), source);
+  }
+  return groups;
+}
+
+int run_precompute(const Args& args) {
+  const engine::ScenarioSpec scenario = resolve_scenario(args);
+  const auto groups = ensemble_groups(scenario);
+  detail::require(!groups.empty(),
+                  "precompute: no ensemble-mode multipath points -- give "
+                  "--channel-ensemble N or a spec whose channel_source is 'ensemble'");
+  const std::string dir = args.channel_cache_dir.empty() ? io::default_channel_store_dir()
+                                                         : args.channel_cache_dir;
+  for (const auto& [params, source] : groups) {
+    const engine::ChannelEnsemble ensemble =
+        engine::make_ensemble(params, source.ensemble_seed, source.ensemble_count);
+    const std::string stem = io::save_ensemble(ensemble, dir);
+    std::printf("%s: %zu realizations -> %s.{cir,json}\n", params.name.c_str(),
+                ensemble.realizations.size(), stem.c_str());
+  }
+  std::printf("%zu ensemble(s) -> %s\n", groups.size(), dir.c_str());
+  return 0;
 }
 
 int run_list() {
@@ -182,15 +286,7 @@ int run_merge(const Args& args) {
 }
 
 int run_sweep(const Args& args) {
-  engine::ScenarioSpec scenario;
-  if (!args.spec_file.empty()) {
-    scenario = io::load_scenario_file(args.spec_file);
-  } else {
-    scenario = engine::ScenarioRegistry::global().make(args.scenario);
-  }
-  for (const auto& [axis, values] : args.overrides) {
-    engine::restrict_scenario(scenario, axis, values);
-  }
+  engine::ScenarioSpec scenario = resolve_scenario(args);
 
   if (!args.dump_scenario_path.empty()) {
     io::save_scenario_file(scenario, args.dump_scenario_path);
@@ -218,7 +314,15 @@ int run_sweep(const Args& args) {
     }
   }
 
-  engine::SweepEngine engine(args.sweep);
+  // A per-invocation cache keeps the global one untouched; pointing it at
+  // the binary store turns generation into loads (results are identical
+  // either way -- the ensemble is a pure function of its key).
+  engine::ChannelCache cache;
+  if (!args.channel_cache_dir.empty()) cache.set_directory(args.channel_cache_dir);
+  engine::SweepConfig sweep_config = args.sweep;
+  sweep_config.channel_cache = &cache;
+
+  engine::SweepEngine engine(sweep_config);
   const engine::SweepResult result = engine.run(scenario, sinks);
   if (!args.out_path.empty()) {
     std::printf("%zu points -> %s\n", result.records.size(), args.out_path.c_str());
@@ -236,6 +340,7 @@ int main(int argc, char** argv) {
     if (args.scenario.empty() && args.spec_file.empty()) return usage(stderr);
     detail::require(args.scenario.empty() || args.spec_file.empty(),
                     "give either a scenario name or --file, not both");
+    if (args.precompute) return run_precompute(args);
     return run_sweep(args);
   } catch (const uwb::Error& e) {
     std::fprintf(stderr, "uwb_sweep: %s\n", e.what());
