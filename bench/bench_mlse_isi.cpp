@@ -2,66 +2,68 @@
 // multipath can be addressed with a Viterbi demodulator." Matched filter vs
 // RAKE vs RAKE+MLSE across channel severities, plus the MLSE memory
 // (trellis states) knob.
+//
+// Runs on the parallel sweep engine via the "gen2_mlse_isi" (channel x
+// backend grid) and "gen2_mlse_memory" (trellis-memory sweep on CM4)
+// registry scenarios; raw points land in bench/results/<scenario>.json.
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/scenario.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
 
 int main() {
   using namespace uwb;
   const uint64_t seed = 0xE8;
   bench::print_header("E8 / Sections 1+3", "Viterbi demodulator (MLSE) vs ISI", seed);
 
-  const double ebn0 = 14.0;
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
+  sweep_config.stop = bench::stop_rule(40, 60000);
+
+  engine::JsonSink isi_json(engine::default_result_path("gen2_mlse_isi", "json"));
+  engine::SweepEngine sweep(sweep_config);
+  const engine::SweepResult isi = sweep.run_named("gen2_mlse_isi", {&isi_json});
+
   sim::Table table({"channel", "MF only", "RAKE(8)", "RAKE+MLSE(8 st)", "MLSE gain"});
-  for (int cm : {1, 2, 3, 4}) {
-    txrx::Gen2Config mf = sim::gen2_fast();
-    mf.use_rake = false;
-    mf.use_mlse = false;
-    txrx::Gen2Config rake = sim::gen2_fast();
-    rake.use_mlse = false;
-    txrx::Gen2Config full = sim::gen2_fast();
-
-    txrx::TrialOptions options;
-    options.payload_bits = 300;
-    options.cm = cm;
-    options.ebn0_db = ebn0;
-
-    const auto stop = bench::stop_rule(40, 60000);
-    txrx::Gen2Link l1(mf, seed + static_cast<uint64_t>(cm));
-    txrx::Gen2Link l2(rake, seed + static_cast<uint64_t>(cm));
-    txrx::Gen2Link l3(full, seed + static_cast<uint64_t>(cm));
-    const auto p1 = bench::link_ber(l1, options, stop);
-    const auto p2 = bench::link_ber(l2, options, stop);
-    const auto p3 = bench::link_ber(l3, options, stop);
-
+  for (const char* channel : {"CM1", "CM2", "CM3", "CM4"}) {
+    const engine::PointRecord* mf = isi.find({{"channel", channel}, {"backend", "mf_only"}});
+    const engine::PointRecord* rake = isi.find({{"channel", channel}, {"backend", "rake"}});
+    const engine::PointRecord* full =
+        isi.find({{"channel", channel}, {"backend", "rake_mlse"}});
+    if (mf == nullptr || rake == nullptr || full == nullptr) {
+      std::fprintf(stderr, "bench_mlse_isi: missing backend point on %s\n", channel);
+      return 1;
+    }
     std::string gain = "--";
-    if (p3.ber > 0.0 && p2.ber > 0.0) gain = sim::Table::num(p2.ber / p3.ber, 1) + "x";
-    table.add_row({"CM" + std::to_string(cm), sim::Table::sci(p1.ber), sim::Table::sci(p2.ber),
-                   sim::Table::sci(p3.ber), gain});
+    if (full->ber.ber > 0.0 && rake->ber.ber > 0.0) {
+      gain = sim::Table::num(rake->ber.ber / full->ber.ber, 1) + "x";
+    }
+    table.add_row({channel, sim::Table::sci(mf->ber.ber), sim::Table::sci(rake->ber.ber),
+                   sim::Table::sci(full->ber.ber), gain});
   }
   std::printf("%s", table.to_string().c_str());
+  std::printf("\n(results: %s)\n", isi_json.path().c_str());
 
   // --- MLSE memory sweep (the "States" input of Fig. 3) --------------------
-  std::printf("\nMLSE trellis memory on CM4 (Eb/N0 = %.0f dB):\n\n", ebn0);
+  std::printf("\nMLSE trellis memory on CM4 (Eb/N0 = 14 dB):\n\n");
+  engine::JsonSink mem_json(engine::default_result_path("gen2_mlse_memory", "json"));
+  const engine::SweepResult mem = sweep.run_named("gen2_mlse_memory", {&mem_json});
+
   sim::Table mem_table({"memory", "states", "BER"});
-  for (int memory : {1, 2, 3, 5}) {
-    txrx::Gen2Config config = sim::gen2_fast();
-    config.mlse.memory = memory;
-
-    txrx::TrialOptions options;
-    options.payload_bits = 300;
-    options.cm = 4;
-    options.ebn0_db = ebn0;
-
-    txrx::Gen2Link link(config, seed);
-    const auto stop = bench::stop_rule(40, 60000);
-    const auto point = bench::link_ber(link, options, stop);
-    mem_table.add_row({sim::Table::integer(memory), sim::Table::integer(1 << memory),
-                       sim::Table::sci(point.ber)});
+  for (const char* memory : {"1", "2", "3", "5"}) {
+    const engine::PointRecord* point = mem.find({{"memory", memory}});
+    if (point == nullptr) {
+      std::fprintf(stderr, "bench_mlse_isi: no point for memory=%s\n", memory);
+      return 1;
+    }
+    mem_table.add_row({memory, sim::Table::integer(1LL << std::stoi(memory)),
+                       sim::Table::sci(point->ber.ber)});
   }
   std::printf("%s", mem_table.to_string().c_str());
+  std::printf("\n(results: %s)\n", mem_json.path().c_str());
   std::printf("\nShape check: RAKE fixes energy capture but not ISI; the Viterbi\n"
               "demodulator buys an extra factor on the dispersive channels, growing\n"
               "with trellis memory until the channel's ISI span is covered.\n");

@@ -69,14 +69,15 @@ int main() {
   const int probe_packets = bench::fast_mode() ? 4 : 12;
   for (const auto& record : result.records) {
     // Receiver-side capture estimate: probe packets through the unified
-    // Link interface (TrialResult carries the RAKE's own capture number).
+    // Link interface (the rake_energy_capture metric is the RAKE's own
+    // capture number).
     const auto link = txrx::make_link(record.spec.link, seed);
     Rng probe_rng(seed ^ record.index);
     double capture_acc = 0.0;
     for (int p = 0; p < probe_packets; ++p) {
       const txrx::TrialResult trial =
           link->run_packet(record.spec.link.options, probe_rng);
-      capture_acc += trial.rake_energy_capture;
+      capture_acc += trial.metric(txrx::metric_names::kRakeEnergyCapture).value_or(0.0);
     }
     ber_table.add_row({record.spec.tag("fingers"), sim::Table::sci(record.ber.ber),
                        sim::Table::percent(capture_acc / probe_packets, 0)});

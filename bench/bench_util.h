@@ -21,21 +21,17 @@ inline bool fast_mode() {
   return env != nullptr && env[0] == '1';
 }
 
-/// Monte-Carlo stopping rule scaled by the mode. Fast-mode scaling is
-/// clamped to at least one error / one bit, so callers passing small
-/// budgets still get a working stopping rule rather than a degenerate
+/// Monte-Carlo stopping rule scaled by the mode through the one shared
+/// clamped helper (sim::scale_stop): fast mode divides the budgets by
+/// 4 / 8, and every budget stays >= 1, so callers passing small budgets
+/// still get a working stopping rule rather than a degenerate
 /// min_errors == 0 (stop immediately) or max_bits == 0 one.
 inline sim::BerStop stop_rule(std::size_t min_errors = 40, std::size_t max_bits = 120000) {
   sim::BerStop stop;
-  if (fast_mode()) {
-    stop.min_errors = std::max<std::size_t>(1, min_errors / 4);
-    stop.max_bits = std::max<std::size_t>(1, max_bits / 8);
-  } else {
-    stop.min_errors = std::max<std::size_t>(1, min_errors);
-    stop.max_bits = std::max<std::size_t>(1, max_bits);
-  }
+  stop.min_errors = min_errors;
+  stop.max_bits = max_bits;
   stop.max_trials = 100000;
-  return stop;
+  return fast_mode() ? sim::scale_stop(stop, 4, 8) : sim::scale_stop(stop, 1, 1);
 }
 
 /// Measures one BER point of any link (gen-1 or gen-2) on the link's own
@@ -45,9 +41,20 @@ inline sim::BerPoint link_ber(txrx::Link& link, const txrx::TrialOptions& option
   return sim::measure_ber(
       [&]() {
         const txrx::TrialResult trial = link.run_packet(options);
-        return sim::TrialOutcome{trial.bits, trial.errors};
+        sim::TrialOutcome out;
+        out.bits = trial.bits;
+        out.errors = trial.errors;
+        return out;
       },
       stop);
+}
+
+/// Mean of a recorded metric on a sweep point, or \p fallback when the
+/// metric has no observations (e.g. sync time with zero detections).
+inline double metric_mean(const sim::MetricSet& metrics, const std::string& name,
+                          double fallback = 0.0) {
+  const sim::MetricStats* stats = metrics.find(name);
+  return stats == nullptr || stats->count == 0 ? fallback : stats->mean();
 }
 
 /// Worker count for engine sweeps: UWB_BENCH_WORKERS when set, else 0

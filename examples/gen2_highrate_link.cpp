@@ -19,7 +19,7 @@ uwb::sim::BerPoint measure(uwb::txrx::Gen2Link& link, const uwb::txrx::TrialOpti
   return uwb::sim::measure_ber(
       [&]() {
         const auto trial = link.run_packet(options);
-        return uwb::sim::TrialOutcome{trial.bits, trial.errors};
+        return uwb::sim::TrialOutcome{trial.bits, trial.errors, {}};
       },
       stop);
 }

@@ -48,7 +48,7 @@ int main() {
     const sim::BerPoint point = sim::measure_ber(
         [&]() {
           const auto trial = link.run_packet(options);
-          return sim::TrialOutcome{trial.bits, trial.errors};
+          return sim::TrialOutcome{trial.bits, trial.errors, {}};
         },
         stop);
 

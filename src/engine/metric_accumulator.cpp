@@ -1,0 +1,28 @@
+#include "engine/metric_accumulator.h"
+
+namespace uwb::engine {
+
+void MetricAccumulator::commit(const sim::TrialOutcome& outcome) {
+  ber_.add(outcome.errors, outcome.bits);
+  bool stop_metric_ok = false;
+  for (const auto& [name, value] : outcome.metrics) {
+    metrics_.add(name, value);
+    if (!stop_.metric.empty() && name == stop_.metric && value != 0.0) {
+      stop_metric_ok = true;
+    }
+  }
+  if (!stop_.metric.empty() && !stop_metric_ok) ++metric_errors_;
+}
+
+sim::MeasuredPoint MetricAccumulator::finish(std::size_t trials) const {
+  sim::MeasuredPoint point;
+  point.ber.ber = ber_.ber();              // 0 when the stream yielded no bits
+  point.ber.ci95 = ber_.ci95_halfwidth();  // likewise guarded against bits == 0
+  point.ber.bits = ber_.bits();
+  point.ber.errors = ber_.errors();
+  point.ber.trials = trials;
+  point.metrics = metrics_;
+  return point;
+}
+
+}  // namespace uwb::engine

@@ -1,0 +1,50 @@
+#pragma once
+/// \file metric_accumulator.h
+/// \brief The reduction layer between trial outcomes and measured points:
+///        BER counters plus per-metric count/sum/sum-of-squares, with the
+///        generalized stopping rule evaluated on commit.
+///
+/// One accumulator instance backs one grid point. The ordered-commit loop
+/// (engine/parallel_ber.cpp) feeds it committed outcomes strictly in
+/// trial-index order, so every reduction -- including the floating-point
+/// sums -- accumulates in the same order for any worker count, and the
+/// finished MeasuredPoint is byte-identical across 1..N workers. Shards
+/// never split a point, so cross-shard "merging" happens at the result-
+/// document level (io/result_io.h) where points are atomic records.
+
+#include <cstddef>
+
+#include "sim/ber_simulator.h"
+
+namespace uwb::engine {
+
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(const sim::BerStop& stop) : stop_(stop) {}
+
+  /// True while the stopping rule allows committing another trial. The
+  /// error budget counts bit errors by default; when stop.metric is set it
+  /// counts committed trials whose named metric was absent or zero.
+  [[nodiscard]] bool keep_going(std::size_t committed_trials) const noexcept {
+    return error_count() < stop_.min_errors && ber_.bits() < stop_.max_bits &&
+           committed_trials < stop_.max_trials;
+  }
+
+  /// Counts one committed trial (call in trial-index order).
+  void commit(const sim::TrialOutcome& outcome);
+
+  /// The finished point after \p trials committed trials.
+  [[nodiscard]] sim::MeasuredPoint finish(std::size_t trials) const;
+
+ private:
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    return stop_.metric.empty() ? ber_.errors() : metric_errors_;
+  }
+
+  sim::BerStop stop_;
+  sim::BerCounter ber_;
+  sim::MetricSet metrics_;
+  std::size_t metric_errors_ = 0;  ///< failed-trial count for stop_.metric
+};
+
+}  // namespace uwb::engine

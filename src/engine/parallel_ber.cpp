@@ -6,65 +6,43 @@
 #include <mutex>
 #include <optional>
 
-#include "sim/metrics.h"
+#include "engine/metric_accumulator.h"
 
 namespace uwb::engine {
 
-namespace {
-
-/// The sequential stopping rule, evaluated before counting another trial.
-bool keep_going(const sim::BerCounter& counter, std::size_t trials,
-                const sim::BerStop& stop) {
-  return counter.errors() < stop.min_errors && counter.bits() < stop.max_bits &&
-         trials < stop.max_trials;
-}
-
-sim::BerPoint make_point(const sim::BerCounter& counter, std::size_t trials) {
-  sim::BerPoint point;
-  point.ber = counter.ber();              // 0 when the stream yielded no bits
-  point.ci95 = counter.ci95_halfwidth();  // likewise guarded against bits == 0
-  point.bits = counter.bits();
-  point.errors = counter.errors();
-  point.trials = trials;
-  return point;
-}
-
-}  // namespace
-
-sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
-                                 const Rng& root) {
-  sim::BerCounter counter;
+sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
+                                        const Rng& root) {
+  MetricAccumulator acc(stop);
   std::size_t trials = 0;
-  while (keep_going(counter, trials, stop)) {
+  while (acc.keep_going(trials)) {
     Rng trial_rng = root.fork(trials);
-    const sim::TrialOutcome out = trial(trials, trial_rng);
-    counter.add(out.errors, out.bits);
+    acc.commit(trial(trials, trial_rng));
     ++trials;
   }
-  return make_point(counter, trials);
+  return acc.finish(trials);
 }
 
-sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerStop& stop,
-                                   const Rng& root, ThreadPool& pool) {
+sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
+                                          const sim::BerStop& stop, const Rng& root,
+                                          ThreadPool& pool) {
   // Shared ordered-commit state. Workers race ahead claiming trial indices
   // but outcomes only count once every lower-indexed trial has counted and
   // the stopping rule was still live -- the sequential semantics exactly.
   struct Shared {
+    explicit Shared(const sim::BerStop& stop) : acc(stop) {}
     std::mutex mutex;
     std::condition_variable window_open;   // speculation window advanced / stop
     std::condition_variable workers_done;
     std::deque<std::optional<sim::TrialOutcome>> window;  // slot k = trial committed+k
     std::size_t next_claim = 0;
     std::size_t committed = 0;
-    sim::BerCounter counter;
+    MetricAccumulator acc;
     bool stopped = false;
     std::size_t active_workers = 0;
-  } shared;
+  } shared(stop);
 
   // Degenerate budgets: nothing to run (matches the serial loop).
-  {
-    if (!keep_going(shared.counter, 0, stop)) return make_point(shared.counter, 0);
-  }
+  if (!shared.acc.keep_going(0)) return shared.acc.finish(0);
 
   const std::size_t num_workers = std::max<std::size_t>(1, pool.size());
   // How far past the commit frontier workers may speculate. Large enough to
@@ -89,21 +67,21 @@ sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerSt
         }
 
         Rng trial_rng = root.fork(index);
-        const sim::TrialOutcome out = trial(index, trial_rng);
+        sim::TrialOutcome out = trial(index, trial_rng);
 
         std::lock_guard<std::mutex> lock(shared.mutex);
         if (shared.stopped) break;
         const std::size_t slot = index - shared.committed;
         if (shared.window.size() <= slot) shared.window.resize(slot + 1);
-        shared.window[slot] = out;
+        shared.window[slot] = std::move(out);
         // Advance the frontier: commit in index order under the rule.
         while (!shared.window.empty() && shared.window.front().has_value()) {
-          if (!keep_going(shared.counter, shared.committed, stop)) break;
-          shared.counter.add(shared.window.front()->errors, shared.window.front()->bits);
+          if (!shared.acc.keep_going(shared.committed)) break;
+          shared.acc.commit(*shared.window.front());
           ++shared.committed;
           shared.window.pop_front();
         }
-        if (!keep_going(shared.counter, shared.committed, stop)) {
+        if (!shared.acc.keep_going(shared.committed)) {
           shared.stopped = true;
         }
         shared.window_open.notify_all();
@@ -120,12 +98,22 @@ sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerSt
   // All workers exited. Either the rule tripped (stopped) or every index up
   // to max_trials was claimed; drain any committed-prefix stragglers.
   while (!shared.window.empty() && shared.window.front().has_value() &&
-         keep_going(shared.counter, shared.committed, stop)) {
-    shared.counter.add(shared.window.front()->errors, shared.window.front()->bits);
+         shared.acc.keep_going(shared.committed)) {
+    shared.acc.commit(*shared.window.front());
     ++shared.committed;
     shared.window.pop_front();
   }
-  return make_point(shared.counter, shared.committed);
+  return shared.acc.finish(shared.committed);
+}
+
+sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
+                                 const Rng& root) {
+  return measure_point_serial(trial, stop, root).ber;
+}
+
+sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerStop& stop,
+                                   const Rng& root, ThreadPool& pool) {
+  return measure_point_parallel(factory, stop, root, pool).ber;
 }
 
 }  // namespace uwb::engine

@@ -1,6 +1,6 @@
 #pragma once
 /// \file parallel_ber.h
-/// \brief Deterministic parallel Monte-Carlo BER measurement.
+/// \brief Deterministic parallel Monte-Carlo point measurement.
 ///
 /// The sequential loop in sim::measure_ber runs trials one after another and
 /// stops on an error/bit/trial budget. This module parallelizes that loop
@@ -8,8 +8,9 @@
 /// `root.fork(i)`, workers execute trials speculatively, and outcomes are
 /// committed strictly in trial-index order under the sequential stopping
 /// rule. The set of counted trials is therefore exactly the prefix the
-/// sequential loop would have counted, so the resulting BerPoint is
-/// byte-identical for any worker count or scheduling order.
+/// sequential loop would have counted, so the resulting MeasuredPoint --
+/// BER counters and every named-metric reduction -- is byte-identical for
+/// any worker count or scheduling order (see engine/metric_accumulator.h).
 
 #include <functional>
 
@@ -34,15 +35,24 @@ using TrialFn = std::function<sim::TrialOutcome(std::size_t index, Rng& rng)>;
 using TrialFactory = std::function<TrialFn()>;
 
 /// Sequential reference implementation: trial i runs with root.fork(i);
-/// stops once min_errors errors, max_bits bits, or max_trials trials are
-/// reached (max_trials is a hard stop even when no errors accumulate).
+/// stops once the error budget (bit errors, or failed trials of
+/// stop.metric when set), max_bits bits, or max_trials trials are reached
+/// (max_trials is a hard stop even when no errors accumulate).
+sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
+                                        const Rng& root);
+
+/// Parallel version of measure_point_serial with identical results:
+/// workers claim trial indices, run them speculatively within a bounded
+/// window ahead of the commit frontier, and commit in index order.
+/// Outcomes past the stopping point are discarded, exactly as if they had
+/// never run.
+sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
+                                          const sim::BerStop& stop, const Rng& root,
+                                          ThreadPool& pool);
+
+/// BER-only convenience wrappers (drop the metric reductions).
 sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,
                                  const Rng& root);
-
-/// Parallel version of measure_ber_serial with identical results: workers
-/// claim trial indices, run them speculatively within a bounded window
-/// ahead of the commit frontier, and commit in index order. Outcomes past
-/// the stopping point are discarded, exactly as if they had never run.
 sim::BerPoint measure_ber_parallel(const TrialFactory& factory, const sim::BerStop& stop,
                                    const Rng& root, ThreadPool& pool);
 

@@ -256,6 +256,130 @@ void register_builtins(ScenarioRegistry& registry) {
     return builder.build();
   });
 
+  registry.add("gen1_acquisition", [] {
+    // E11's grid (Section 1's "~20 us" preamble budget): detection /
+    // timing reliability and lock time vs preamble length and Eb/N0.
+    // Acquisition-kind trials: bits/errors count attempts and timing
+    // failures; acquired / timing_correct / sync_time_s ride as metrics
+    // (sync_time_s averages the detected trials only).
+    txrx::TrialOptions options = txrx::default_options(Generation::kGen1);
+    options.kind = txrx::TrialKind::kAcquisition;
+    options.payload_bits = 8;
+    options.genie_timing = false;
+    Gen1ScenarioBuilder builder("gen1_acquisition", sim::gen1_nominal(), options);
+    builder
+        .description("gen-1 acquisition reliability vs preamble repetitions and Eb/N0")
+        .axis("preamble_reps",
+              [] {
+                std::vector<Gen1Variant> variants;
+                for (int reps : {2, 3}) {
+                  variants.push_back({std::to_string(reps),
+                                      [reps](txrx::Gen1Config& c, txrx::TrialOptions&) {
+                                        c.preamble_repetitions = reps;
+                                      }});
+                }
+                return variants;
+              }())
+        .ebn0_grid({8.0, 10.0, 12.0, 14.0});
+    return builder.build();
+  });
+
+  registry.add("gen1_sync", [] {
+    // E2's grid (Fig. 1): correlator-bank parallelism vs modeled sync time
+    // and detection statistics -- "packet synchronization ... in less than
+    // 70 us" through further parallelization.
+    txrx::TrialOptions options = txrx::default_options(Generation::kGen1);
+    options.kind = txrx::TrialKind::kAcquisition;
+    options.payload_bits = 8;
+    options.genie_timing = false;
+    options.ebn0_db = 18.0;
+    Gen1ScenarioBuilder builder("gen1_sync", sim::gen1_nominal(), options);
+    builder
+        .description("gen-1 sync time vs stage-1 correlator parallelism at 18 dB")
+        .axis("parallelism", [] {
+          std::vector<Gen1Variant> variants;
+          for (std::size_t p1 : {8u, 32u, 128u, 648u}) {
+            variants.push_back({std::to_string(p1),
+                                [p1](txrx::Gen1Config& c, txrx::TrialOptions&) {
+                                  c.acq_parallelism_stage1 = p1;
+                                }});
+          }
+          return variants;
+        }());
+    return builder.build();
+  });
+
+  registry.add("gen2_chanest_precision", [] {
+    // E6's grid (Section 3): BER vs the per-tap quantization of the
+    // channel estimate feeding RAKE and MLSE ("a precision of up to four
+    // bits"); tap_bits = "float" is the unquantized reference.
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.cm = 2;
+    options.ebn0_db = 13.0;
+    Gen2ScenarioBuilder builder("gen2_chanest_precision", sim::gen2_fast(), options);
+    builder
+        .description("BER vs channel-estimate tap precision on CM2 (paper: 4 bits)")
+        .axis("tap_bits", [] {
+          std::vector<Gen2Variant> variants;
+          for (int bits : {0, 1, 2, 3, 4, 6}) {
+            variants.push_back({bits == 0 ? "float" : std::to_string(bits),
+                                [bits](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                                  c.chanest.quantization_bits = bits;
+                                }});
+          }
+          return variants;
+        }());
+    return builder.build();
+  });
+
+  registry.add("gen2_mlse_isi", [] {
+    // E8's first grid (Sections 1+3): matched filter vs RAKE vs RAKE+MLSE
+    // across channel severities -- "the ISI due to multipath can be
+    // addressed with a Viterbi demodulator".
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.ebn0_db = 14.0;
+    Gen2ScenarioBuilder builder("gen2_mlse_isi", sim::gen2_fast(), options);
+    builder
+        .description("MF vs RAKE vs RAKE+MLSE across CM1-CM4 at 14 dB")
+        .channels({1, 2, 3, 4})
+        .axis("backend",
+              {{"mf_only",
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                  c.use_rake = false;
+                  c.use_mlse = false;
+                }},
+               {"rake",
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                  c.use_mlse = false;
+                }},
+               {"rake_mlse", [](txrx::Gen2Config&, txrx::TrialOptions&) {}}});
+    return builder.build();
+  });
+
+  registry.add("gen2_mlse_memory", [] {
+    // E8's second grid: the MLSE trellis-memory knob (the "States" input
+    // of Fig. 3) on the most dispersive channel.
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.cm = 4;
+    options.ebn0_db = 14.0;
+    Gen2ScenarioBuilder builder("gen2_mlse_memory", sim::gen2_fast(), options);
+    builder.description("MLSE trellis memory vs BER on CM4 at 14 dB")
+        .axis("memory", [] {
+          std::vector<Gen2Variant> variants;
+          for (int memory : {1, 2, 3, 5}) {
+            variants.push_back({std::to_string(memory),
+                                [memory](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                                  c.mlse.memory = memory;
+                                }});
+          }
+          return variants;
+        }());
+    return builder.build();
+  });
+
   registry.add("gen2_rake_fingers", [] {
     // E7's BER half: finger count vs BER on CM2 at 12 dB (selective RAKE +
     // MLSE), the knee that makes a programmable finger count a power knob.

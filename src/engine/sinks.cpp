@@ -1,5 +1,6 @@
 #include "engine/sinks.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,22 @@ std::string csv_escape(const std::string& s) {
   }
   out += "\"";
   return out;
+}
+
+/// Metric columns for tabular sinks: union over the sweep in
+/// first-appearance order, so a sweep whose early points miss a metric
+/// (e.g. zero detected trials) still shows every recorded metric.
+std::vector<std::string> metric_name_union(const std::vector<PointRecord>& records) {
+  std::vector<std::string> names;
+  for (const auto& record : records) {
+    for (const auto& [name, stats] : record.metrics.entries()) {
+      (void)stats;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  return names;
 }
 
 std::ofstream open_for_write(const std::string& path) {
@@ -55,14 +72,17 @@ void ConsoleTableSink::point(const PointRecord& record) { records_.push_back(rec
 void ConsoleTableSink::end(const SweepInfo& info) {
   (void)info;
   if (records_.empty()) return;
+  const std::vector<std::string> metric_names = metric_name_union(records_);
   std::vector<std::string> headers;
   for (const auto& [key, value] : records_.front().spec.tags) {
     (void)value;
     headers.push_back(key);
   }
-  for (const char* h : {"BER", "ci95", "errors", "bits", "trials", "time"}) {
+  for (const char* h : {"BER", "ci95", "errors", "bits", "trials"}) {
     headers.emplace_back(h);
   }
+  for (const auto& name : metric_names) headers.push_back(name);
+  headers.emplace_back("time");
   sim::Table table(headers);
   for (const auto& record : records_) {
     std::vector<std::string> row;
@@ -75,6 +95,10 @@ void ConsoleTableSink::end(const SweepInfo& info) {
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.errors)));
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.bits)));
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.trials)));
+    for (const auto& name : metric_names) {
+      const sim::MetricStats* stats = record.metrics.find(name);
+      row.push_back(stats == nullptr ? "--" : sim::Table::num(stats->mean(), 4));
+    }
     row.push_back(sim::Table::num(record.elapsed_s, 2) + " s");
     table.add_row(std::move(row));
   }
@@ -105,6 +129,14 @@ void JsonSink::end(const SweepInfo& info) {
     point.errors = record.ber.errors;
     point.bits = record.ber.bits;
     point.trials = record.ber.trials;
+    for (const auto& [name, stats] : record.metrics.entries()) {
+      io::ResultMetric metric;
+      metric.name = name;
+      metric.count = stats.count;
+      metric.mean = io::format_double(stats.mean());
+      metric.variance = io::format_double(stats.variance());
+      point.metrics.push_back(std::move(metric));
+    }
     doc.points.push_back(std::move(point));
   }
   std::ofstream out = open_for_write(path_);
@@ -121,6 +153,9 @@ void CsvSink::point(const PointRecord& record) { records_.push_back(record); }
 void CsvSink::end(const SweepInfo& info) {
   (void)info;
   std::ofstream out = open_for_write(path_);
+  // Per-metric columns (<name>_count/_mean/_var); a point that never saw
+  // a metric leaves the cells empty.
+  const std::vector<std::string> metric_names = metric_name_union(records_);
   out << "index";
   if (!records_.empty()) {
     for (const auto& [key, value] : records_.front().spec.tags) {
@@ -128,7 +163,12 @@ void CsvSink::end(const SweepInfo& info) {
       out << "," << csv_escape(key);
     }
   }
-  out << ",ber,ci95,errors,bits,trials\n";
+  out << ",ber,ci95,errors,bits,trials";
+  for (const auto& name : metric_names) {
+    out << "," << csv_escape(name) << "_count," << csv_escape(name) << "_mean,"
+        << csv_escape(name) << "_var";
+  }
+  out << "\n";
   for (const auto& record : records_) {
     out << record.index;
     for (const auto& [key, value] : record.spec.tags) {
@@ -137,7 +177,17 @@ void CsvSink::end(const SweepInfo& info) {
     }
     out << "," << io::format_double(record.ber.ber) << ","
         << io::format_double(record.ber.ci95) << "," << record.ber.errors << ","
-        << record.ber.bits << "," << record.ber.trials << "\n";
+        << record.ber.bits << "," << record.ber.trials;
+    for (const auto& name : metric_names) {
+      const sim::MetricStats* stats = record.metrics.find(name);
+      if (stats == nullptr) {
+        out << ",,,";
+      } else {
+        out << "," << stats->count << "," << io::format_double(stats->mean()) << ","
+            << io::format_double(stats->variance());
+      }
+    }
+    out << "\n";
   }
   detail::require(out.good(), "CsvSink: write to '" + path_ + "' failed");
 }

@@ -31,6 +31,7 @@ struct PointRecord {
   std::size_t index = 0;  ///< position in the flat trial plan
   PointSpec spec;         ///< the point that was run (labels, tags, configs)
   sim::BerPoint ber;
+  sim::MetricSet metrics;  ///< per-metric count/sum/sum_sq reductions
   double elapsed_s = 0.0;  ///< wall-clock for this point (console only)
 };
 
@@ -45,7 +46,8 @@ class ResultSink {
 };
 
 /// Buffers rows and prints a sim::Table at end(): one column per axis tag,
-/// then BER, ci95, errors, bits, trials, and per-point wall-clock.
+/// then BER, ci95, errors, bits, trials, one mean column per recorded
+/// metric, and per-point wall-clock.
 class ConsoleTableSink : public ResultSink {
  public:
   explicit ConsoleTableSink(std::FILE* out = stdout);

@@ -1,5 +1,6 @@
 #include "engine/sweep_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -27,10 +28,47 @@ TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed,
     return [&spec, link, ensemble](std::size_t index, Rng& rng) {
       txrx::TrialContext context;
       if (ensemble != nullptr) context.channel = &ensemble->realization_for_trial(index);
-      const txrx::TrialResult trial = link->run_packet(spec.link.options, rng, context);
-      return sim::TrialOutcome{trial.bits, trial.errors};
+      txrx::TrialResult trial = link->run_packet(spec.link.options, rng, context);
+      sim::TrialOutcome out;
+      out.bits = trial.bits;
+      out.errors = trial.errors;
+      // record_metrics filters AND orders the recorded reductions; empty
+      // means record everything the trial emitted, in emission order.
+      const std::vector<std::string>& wanted = spec.link.options.record_metrics;
+      if (wanted.empty()) {
+        out.metrics = std::move(trial.metrics);
+      } else {
+        out.metrics.reserve(wanted.size());
+        for (const std::string& name : wanted) {
+          if (const std::optional<double> value = trial.metric(name)) {
+            out.metrics.emplace_back(name, *value);
+          }
+        }
+      }
+      return out;
     };
   };
+}
+
+/// Loud up-front check that a metric-targeting stop rule can actually see
+/// its metric on every point: the metric must be one the point's trial
+/// kind emits AND survive the point's record_metrics filter -- otherwise
+/// no trial would ever succeed and the rule would degenerate to the
+/// trial/bit budgets without a word.
+void validate_stop_metric(const ScenarioSpec& scenario, const std::string& metric) {
+  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    const PointSpec& point = scenario.points[p];
+    const std::vector<std::string>& recorded = point.link.options.record_metrics;
+    const bool visible =
+        txrx::emits_metric(point.link.generation(), point.link.options.kind, metric) &&
+        (recorded.empty() ||
+         std::find(recorded.begin(), recorded.end(), metric) != recorded.end());
+    if (!visible) {
+      throw InvalidArgument("scenario '" + scenario.name + "' point " +
+                            std::to_string(p) + " ('" + point.label +
+                            "') does not record stop metric '" + metric + "'");
+    }
+  }
 }
 
 }  // namespace
@@ -70,6 +108,7 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
                             "'): " + e.what());
     }
   }
+  if (!config_.stop.metric.empty()) validate_stop_metric(scenario, config_.stop.metric);
 
   SweepResult result;
   result.info.scenario = scenario.name;
@@ -109,7 +148,7 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     }
 
     const auto start = std::chrono::steady_clock::now();
-    const sim::BerPoint ber = measure_ber_parallel(
+    sim::MeasuredPoint measured = measure_point_parallel(
         make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
         pool);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
@@ -117,7 +156,8 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     PointRecord record;
     record.index = p;
     record.spec = spec;
-    record.ber = ber;
+    record.ber = measured.ber;
+    record.metrics = std::move(measured.metrics);
     record.elapsed_s = elapsed.count();
     for (ResultSink* sink : sinks) sink->point(record);
     result.records.push_back(std::move(record));

@@ -15,7 +15,13 @@ std::string write_result_json(const ResultDoc& doc) {
   out << "  \"seed\": " << doc.seed << ",\n";
   out << "  \"stop\": {\"min_errors\": " << doc.stop.min_errors
       << ", \"max_bits\": " << doc.stop.max_bits
-      << ", \"max_trials\": " << doc.stop.max_trials << "},\n";
+      << ", \"max_trials\": " << doc.stop.max_trials;
+  // Serialized only when set: BER-only documents keep their historical
+  // byte layout (and old files parse as metric = "").
+  if (!doc.stop.metric.empty()) {
+    out << ", \"metric\": \"" << json_escape(doc.stop.metric) << "\"";
+  }
+  out << "},\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < doc.points.size(); ++i) {
     const ResultPoint& point = doc.points[i];
@@ -28,7 +34,19 @@ std::string write_result_json(const ResultDoc& doc) {
     }
     out << "}, \"ber\": " << point.ber << ", \"ci95\": " << point.ci95
         << ", \"errors\": " << point.errors << ", \"bits\": " << point.bits
-        << ", \"trials\": " << point.trials << "}";
+        << ", \"trials\": " << point.trials;
+    if (!point.metrics.empty()) {
+      out << ",\n     \"metrics\": {";
+      for (std::size_t m = 0; m < point.metrics.size(); ++m) {
+        const ResultMetric& metric = point.metrics[m];
+        if (m > 0) out << ", ";
+        out << "\"" << json_escape(metric.name) << "\": {\"count\": " << metric.count
+            << ", \"mean\": " << metric.mean << ", \"variance\": " << metric.variance
+            << "}";
+      }
+      out << "}";
+    }
+    out << "}";
     out << (i + 1 < doc.points.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -44,6 +62,9 @@ ResultDoc parse_result_json(const std::string& text) {
   doc.stop.min_errors = static_cast<std::size_t>(stop.at("min_errors").as_uint64());
   doc.stop.max_bits = static_cast<std::size_t>(stop.at("max_bits").as_uint64());
   doc.stop.max_trials = static_cast<std::size_t>(stop.at("max_trials").as_uint64());
+  if (const JsonValue* metric = stop.find("metric")) {
+    doc.stop.metric = metric->as_string();
+  }
   for (const JsonValue& p : root.at("points").items()) {
     ResultPoint point;
     point.index = p.at("index").as_uint64();
@@ -56,6 +77,16 @@ ResultDoc parse_result_json(const std::string& text) {
     point.errors = p.at("errors").as_uint64();
     point.bits = p.at("bits").as_uint64();
     point.trials = p.at("trials").as_uint64();
+    if (const JsonValue* metrics = p.find("metrics")) {
+      for (const auto& [name, stats] : metrics->members()) {
+        ResultMetric metric;
+        metric.name = name;
+        metric.count = stats.at("count").as_uint64();
+        metric.mean = stats.at("mean").number_text();
+        metric.variance = stats.at("variance").number_text();
+        point.metrics.push_back(std::move(metric));
+      }
+    }
     doc.points.push_back(std::move(point));
   }
   return doc;
@@ -74,7 +105,8 @@ ResultDoc merge_results(const std::vector<ResultDoc>& shards) {
     detail::require(shard.seed == merged.seed, "merge: seed mismatch");
     detail::require(shard.stop.min_errors == merged.stop.min_errors &&
                         shard.stop.max_bits == merged.stop.max_bits &&
-                        shard.stop.max_trials == merged.stop.max_trials,
+                        shard.stop.max_trials == merged.stop.max_trials &&
+                        shard.stop.metric == merged.stop.metric,
                     "merge: stopping-rule mismatch");
     merged.points.insert(merged.points.end(), shard.points.begin(), shard.points.end());
   }

@@ -19,8 +19,22 @@
 
 namespace uwb::io {
 
+/// One named metric's serialized reduction: observation count plus mean
+/// and (unbiased sample) variance, the numbers kept as their literal JSON
+/// text so parse -> write round trips exactly.
+struct ResultMetric {
+  std::string name;
+  std::uint64_t count = 0;
+  std::string mean = "0";
+  std::string variance = "0";
+
+  [[nodiscard]] bool operator==(const ResultMetric&) const = default;
+};
+
 /// One measured point as serialized: axis labels plus the BER counters
-/// (ber/ci95 in literal shortest-round-trip text).
+/// (ber/ci95 in literal shortest-round-trip text) and the per-metric
+/// statistics (present only for sweeps that record metrics -- BER-only
+/// documents keep the historical layout).
 struct ResultPoint {
   std::uint64_t index = 0;  ///< global position in the scenario's plan
   std::string label;
@@ -30,6 +44,7 @@ struct ResultPoint {
   std::uint64_t errors = 0;
   std::uint64_t bits = 0;
   std::uint64_t trials = 0;
+  std::vector<ResultMetric> metrics;  ///< ordered as recorded
 };
 
 /// A whole sweep result file.

@@ -72,6 +72,16 @@ std::string channel_mode_name(txrx::ChannelSource::Mode mode) {
   return mode == txrx::ChannelSource::Mode::kFresh ? "fresh" : "ensemble";
 }
 
+std::string trial_kind_name(txrx::TrialKind kind) {
+  return kind == txrx::TrialKind::kPacket ? "packet" : "acquisition";
+}
+
+txrx::TrialKind trial_kind_from_name(const std::string& name) {
+  if (name == "packet") return txrx::TrialKind::kPacket;
+  if (name == "acquisition") return txrx::TrialKind::kAcquisition;
+  throw InvalidArgument("spec: unknown trial kind '" + name + "'");
+}
+
 txrx::ChannelSource::Mode channel_mode_from_name(const std::string& name) {
   if (name == "fresh") return txrx::ChannelSource::Mode::kFresh;
   if (name == "ensemble") return txrx::ChannelSource::Mode::kEnsemble;
@@ -337,6 +347,7 @@ estimation::ChannelEstimatorConfig chanest_from_json(const JsonValue& v) {
 
 JsonValue to_json(const txrx::TrialOptions& options) {
   JsonValue out = JsonValue::object();
+  out.set("kind", JsonValue::string(trial_kind_name(options.kind)));
   out.set("cm", JsonValue::number(options.cm));
   out.set("channel_source", to_json(options.channel_source));
   out.set("ebn0_db", JsonValue::number(options.ebn0_db));
@@ -350,13 +361,20 @@ JsonValue to_json(const txrx::TrialOptions& options) {
   out.set("auto_notch", JsonValue::boolean(options.auto_notch));
   out.set("run_spectral_monitor", JsonValue::boolean(options.run_spectral_monitor));
   out.set("fec", options.fec.has_value() ? to_json(*options.fec) : JsonValue::null());
+  out.set("acq_tol_samples", JsonValue::number(static_cast<uint64_t>(options.acq_tol_samples)));
+  JsonValue record = JsonValue::array();
+  for (const std::string& name : options.record_metrics) {
+    record.push_back(JsonValue::string(name));
+  }
+  out.set("record_metrics", std::move(record));
   return out;
 }
 
 txrx::TrialOptions trial_options_from_json(const JsonValue& v, txrx::TrialOptions base) {
   txrx::TrialOptions options = std::move(base);
   for (const auto& [key, val] : v.members()) {
-    if (key == "cm") options.cm = val.as_int();
+    if (key == "kind") options.kind = trial_kind_from_name(val.as_string());
+    else if (key == "cm") options.cm = val.as_int();
     else if (key == "channel_source") options.channel_source = channel_source_from_json(val);
     else if (key == "ebn0_db") options.ebn0_db = val.as_double();
     else if (key == "payload_bits") options.payload_bits = as_size(val);
@@ -371,6 +389,13 @@ txrx::TrialOptions trial_options_from_json(const JsonValue& v, txrx::TrialOption
     else if (key == "fec") {
       if (val.is_null()) options.fec.reset();
       else options.fec = conv_code_from_json(val);
+    } else if (key == "acq_tol_samples") {
+      options.acq_tol_samples = as_size(val);
+    } else if (key == "record_metrics") {
+      options.record_metrics.clear();
+      for (const auto& name : val.items()) {
+        options.record_metrics.push_back(name.as_string());
+      }
     } else {
       unknown_key("options", key);
     }
@@ -524,6 +549,15 @@ txrx::LinkSpec link_spec_from_json(const JsonValue& v) {
       unknown_key("link", key);
     }
   }
+  // Strict like the unknown-key checks: a typo'd metric name must fail at
+  // load time, not silently record empty columns. (emits_metric also
+  // rejects a trial kind the generation does not support.)
+  for (const std::string& name : spec.options.record_metrics) {
+    if (!txrx::emits_metric(gen, spec.options.kind, name)) {
+      throw InvalidArgument("spec: options: unknown metric '" + name +
+                            "' in record_metrics");
+    }
+  }
   return spec;
 }
 
@@ -534,6 +568,7 @@ JsonValue to_json(const sim::BerStop& stop) {
   out.set("min_errors", JsonValue::number(stop.min_errors));
   out.set("max_bits", JsonValue::number(stop.max_bits));
   out.set("max_trials", JsonValue::number(stop.max_trials));
+  if (!stop.metric.empty()) out.set("metric", JsonValue::string(stop.metric));
   return out;
 }
 
@@ -543,6 +578,7 @@ sim::BerStop ber_stop_from_json(const JsonValue& v) {
     if (key == "min_errors") stop.min_errors = as_size(val);
     else if (key == "max_bits") stop.max_bits = as_size(val);
     else if (key == "max_trials") stop.max_trials = as_size(val);
+    else if (key == "metric") stop.metric = val.as_string();
     else unknown_key("stop", key);
   }
   return stop;

@@ -1,29 +1,50 @@
 #pragma once
 /// \file ber_simulator.h
-/// \brief Monte-Carlo BER estimation with an error-count stopping rule: run
-///        packet trials until min_errors errors or max_bits bits, whichever
-///        comes first. All link benches share this loop.
+/// \brief Monte-Carlo trial accounting: the per-trial outcome record (bit
+///        counts plus named scalar metrics), the stopping rule, and the
+///        measured-point results every link bench shares.
 
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/metrics.h"
 
 namespace uwb::sim {
 
-/// One trial's contribution.
+/// One trial's contribution: the bit/error pair every BER loop consumes
+/// plus the trial's named scalar metrics (acquisition flags, sync time,
+/// RAKE capture, SNR estimate, ...). A metric absent from a trial simply
+/// contributes no observation -- e.g. a sync-time metric emitted only on
+/// detected trials averages over the detected subset.
 struct TrialOutcome {
   std::size_t bits = 0;
   std::size_t errors = 0;
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// Stopping rule. max_trials is a hard stop even when a trial stream
 /// yields no errors (or no bits at all), so a degenerate trial can never
 /// spin the loop forever.
+///
+/// The rule targets *bit* errors by default. Setting \p metric names a
+/// per-trial success-flag metric instead: a committed trial then counts
+/// one error toward min_errors when that metric is absent or zero (e.g.
+/// metric = "timing_correct" stops after min_errors acquisition failures).
 struct BerStop {
-  std::size_t min_errors = 50;    ///< stop after this many errors...
+  std::size_t min_errors = 50;       ///< stop after this many errors...
   std::size_t max_bits = 2'000'000;  ///< ...or this many bits
   std::size_t max_trials = 100'000;  ///< ...or this many trials, hard stop
+  std::string metric;                ///< "" = bit errors; else a success-flag metric
 };
+
+/// Divides a stopping rule's error/bit budgets for a quick pass, clamped
+/// so a small budget can never degenerate to min_errors == 0 (stop
+/// immediately) or max_bits == 0. The one scaling helper shared by the
+/// benches' UWB_BENCH_FAST mode and the uwb_sweep CLI's --fast flag.
+[[nodiscard]] BerStop scale_stop(BerStop stop, std::size_t error_divisor,
+                                 std::size_t bits_divisor);
 
 /// A measured BER point.
 struct BerPoint {
@@ -34,9 +55,18 @@ struct BerPoint {
   std::size_t trials = 0;
 };
 
+/// A fully measured grid point: the BER counters plus the reductions of
+/// every named metric the trials emitted (count / mean / variance per
+/// metric, see MetricStats). What engine::measure_point_* returns and the
+/// result sinks serialize.
+struct MeasuredPoint {
+  BerPoint ber;
+  MetricSet metrics;
+};
+
 /// Runs \p trial repeatedly under the stopping rule. (Sequential; this is
-/// a thin adapter over engine::measure_ber_serial -- parallel sweeps use
-/// engine::SweepEngine / engine::measure_ber_parallel, which produce
+/// a thin adapter over engine::measure_point_serial -- parallel sweeps use
+/// engine::SweepEngine / engine::measure_point_parallel, which produce
 /// identical results for seed-parameterized trials.)
 BerPoint measure_ber(const std::function<TrialOutcome()>& trial, const BerStop& stop = {});
 

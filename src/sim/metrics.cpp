@@ -37,6 +37,36 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+double MetricStats::variance() const noexcept {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double centered = sum_sq - sum * sum / n;
+  return std::max(0.0, centered / (n - 1.0));
+}
+
+MetricStats& MetricSet::entry(const std::string& name) {
+  for (auto& [key, stats] : entries_) {
+    if (key == name) return stats;
+  }
+  entries_.emplace_back(name, MetricStats{});
+  return entries_.back().second;
+}
+
+void MetricSet::add(const std::string& name, double value) { entry(name).add(value); }
+
+void MetricSet::merge(const MetricSet& other) {
+  for (const auto& [name, stats] : other.entries_) {
+    entry(name).merge(stats);
+  }
+}
+
+const MetricStats* MetricSet::find(const std::string& name) const noexcept {
+  for (const auto& [key, stats] : entries_) {
+    if (key == name) return &stats;
+  }
+  return nullptr;
+}
+
 double percentile(RealVec values, double p) {
   detail::require(!values.empty(), "percentile: empty sample");
   detail::require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");

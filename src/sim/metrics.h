@@ -1,9 +1,13 @@
 #pragma once
 /// \file metrics.h
 /// \brief Measurement bookkeeping: BER counters with confidence intervals,
-///        running statistics, percentiles.
+///        running statistics, percentiles, and the named-metric reductions
+///        (count / sum / sum-of-squares) the sweep engine accumulates.
 
 #include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -60,5 +64,66 @@ class RunningStats {
 
 /// p-th percentile (0..100) of a sample vector (copies + sorts).
 double percentile(RealVec values, double p);
+
+/// Reduction state of one named scalar metric: count / sum / sum-of-squares.
+/// This is the representation the sweep engine commits trial metrics into --
+/// merging two states is exact integer/FP addition, and mean/variance are
+/// derived on demand, so a point's statistics are a pure function of the
+/// committed trial prefix.
+struct MetricStats {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void add(double value) noexcept {
+    ++count;
+    sum += value;
+    sum_sq += value * value;
+  }
+
+  /// Accumulates another state (same metric). Exact for counts; the FP sums
+  /// add in call order, so callers that need bit-reproducibility must merge
+  /// in a deterministic order (the engine commits in trial-index order).
+  void merge(const MetricStats& other) noexcept {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+  }
+
+  /// Sample mean (0 when no observations).
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Unbiased sample variance (n-1 denominator; 0 when count < 2). Clamped
+  /// at 0 against the cancellation the sum-of-squares form can produce.
+  [[nodiscard]] double variance() const noexcept;
+};
+
+/// An ordered set of named metric reductions. Order is first-appearance
+/// order of add() calls -- deterministic under the engine's ordered commit
+/// -- and is preserved through serialization, so result files are stable.
+class MetricSet {
+ public:
+  /// Adds one observation of \p name (creates the entry on first sight).
+  void add(const std::string& name, double value);
+
+  /// Merges another set (entries absent here are appended in order).
+  void merge(const MetricSet& other);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, MetricStats>>& entries()
+      const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Stats for \p name, or nullptr when the metric was never observed.
+  [[nodiscard]] const MetricStats* find(const std::string& name) const noexcept;
+
+ private:
+  MetricStats& entry(const std::string& name);
+
+  std::vector<std::pair<std::string, MetricStats>> entries_;
+};
 
 }  // namespace uwb::sim

@@ -39,9 +39,24 @@ void require_supported(const LinkCaps& caps, const TrialOptions& options) {
     detail::require(!options.fec.has_value(),
                     to_string(caps.generation) + " link does not support an outer FEC");
   }
+  if (!caps.supports_acquisition_trials) {
+    detail::require(options.kind != TrialKind::kAcquisition,
+                    to_string(caps.generation) +
+                        " link does not support acquisition trials");
+  }
   if (options.channel_source.is_ensemble()) {
     detail::require(options.channel_source.ensemble_count >= 1,
                     "ensemble channel source needs ensemble_count >= 1");
+  }
+  // A spec can only ask for metrics this trial kind actually emits --
+  // recording a never-emitted metric would silently produce empty columns.
+  for (const std::string& name : options.record_metrics) {
+    detail::require(emits_metric(caps.generation, options.kind, name),
+                    "unknown metric '" + name + "' in record_metrics: a " +
+                        to_string(caps.generation) +
+                        (options.kind == TrialKind::kAcquisition ? " acquisition"
+                                                                 : " packet") +
+                        " trial does not emit it");
   }
 }
 
@@ -114,7 +129,37 @@ LinkCaps generation_caps(Generation gen) {
     caps.supports_fec = true;
     caps.supports_acquisition_trials = false;
   }
+  // Derived, not hand-listed: the advertised vocabulary is the union of
+  // what the supported trial kinds emit, so it cannot drift from
+  // trial_metric_names.
+  caps.metric_names = trial_metric_names(gen, TrialKind::kPacket);
+  if (caps.supports_acquisition_trials) {
+    for (std::string& name : trial_metric_names(gen, TrialKind::kAcquisition)) {
+      if (!emits_metric(gen, TrialKind::kPacket, name)) {
+        caps.metric_names.push_back(std::move(name));
+      }
+    }
+  }
   return caps;
+}
+
+std::vector<std::string> trial_metric_names(Generation gen, TrialKind kind) {
+  if (kind == TrialKind::kAcquisition) {
+    detail::require(gen == Generation::kGen1,
+                    to_string(gen) + " link does not support acquisition trials");
+    return {metric_names::kAcquired, metric_names::kTimingCorrect,
+            metric_names::kSyncTime};
+  }
+  if (gen == Generation::kGen1) return {metric_names::kAcquired};
+  return {metric_names::kAcquired, metric_names::kRakeEnergyCapture,
+          metric_names::kSnrEstimate};
+}
+
+bool emits_metric(Generation gen, TrialKind kind, const std::string& name) {
+  for (const std::string& have : trial_metric_names(gen, kind)) {
+    if (have == name) return true;
+  }
+  return false;
 }
 
 void validate_spec(const LinkSpec& spec) {
@@ -139,13 +184,14 @@ Gen2Link::Gen2Link(const Gen2Config& config, uint64_t seed)
 
 TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng,
                                  const TrialContext& context) {
+  require_supported(caps_, options);  // gen-2 rejects acquisition trials here
   const Gen2TrialResult trial = run_packet_full(options, rng, context);
   TrialResult out;
   out.bits = trial.bits;
   out.errors = trial.errors;
-  out.acquired = trial.rx.acquired;
-  out.rake_energy_capture = trial.rx.rake_energy_capture;
-  out.snr_estimate_db = trial.rx.snr_estimate_db;
+  out.set_metric(metric_names::kAcquired, trial.rx.acquired ? 1.0 : 0.0);
+  out.set_metric(metric_names::kRakeEnergyCapture, trial.rx.rake_energy_capture);
+  out.set_metric(metric_names::kSnrEstimate, trial.rx.snr_estimate_db);
   return out;
 }
 
@@ -280,11 +326,28 @@ RealWaveform apply_gen1_channel(RealWaveform wave, const TrialOptions& options,
 
 TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng,
                                  const TrialContext& context) {
+  if (options.kind == TrialKind::kAcquisition) {
+    // Acquisition trials through the generic interface: one attempt per
+    // trial, a timing failure is the trial's one "error". Stop rules and
+    // the BER column therefore read as attempt count / timing-failure
+    // rate, and the named metrics carry the acquisition statistics.
+    const AcqTrial trial = run_acquisition(options, rng, options.acq_tol_samples, context);
+    TrialResult out;
+    out.bits = 1;
+    out.errors = trial.timing_correct ? 0 : 1;
+    out.set_metric(metric_names::kAcquired, trial.acq.acquired ? 1.0 : 0.0);
+    out.set_metric(metric_names::kTimingCorrect, trial.timing_correct ? 1.0 : 0.0);
+    // Only detected trials have a meaningful lock time: the metric's mean
+    // is the mean over the detected subset, not diluted by misses.
+    if (trial.acq.acquired) out.set_metric(metric_names::kSyncTime, trial.acq.sync_time_s);
+    return out;
+  }
   const Gen1TrialResult trial = run_packet_full(options, rng, context);
   TrialResult out;
   out.bits = trial.bits;
   out.errors = trial.errors;
-  out.acquired = options.genie_timing || trial.rx.acq.acquired;
+  out.set_metric(metric_names::kAcquired,
+                 (options.genie_timing || trial.rx.acq.acquired) ? 1.0 : 0.0);
   return out;
 }
 
@@ -325,11 +388,12 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
 
 Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options,
                                              std::size_t tol_samples) {
-  return run_acquisition(options, rng_, tol_samples);
+  return run_acquisition(options, rng_, tol_samples, TrialContext{});
 }
 
 Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& rng,
-                                             std::size_t tol_samples) {
+                                             std::size_t tol_samples,
+                                             const TrialContext& context) {
   require_supported(caps_, options);
   AcqTrial out;
 
@@ -345,7 +409,7 @@ Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& r
   const std::size_t true_offset = delay_frames * config_.frame_samples_adc;
 
   RealWaveform rx_wave =
-      apply_gen1_channel(std::move(wave), options, TrialContext{}, nullptr, rng);
+      apply_gen1_channel(std::move(wave), options, context, nullptr, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);

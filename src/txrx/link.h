@@ -15,7 +15,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "channel/saleh_valenzuela.h"
 #include "common/rng.h"
@@ -74,18 +76,49 @@ struct TrialContext {
 /// looks them up. \throws InvalidArgument for cm outside 1..4.
 [[nodiscard]] channel::SvParams ensemble_sv_params(int cm, Generation gen);
 
+/// What one trial measures. kPacket transmits and demodulates a payload
+/// (BER accounting); kAcquisition runs the dedicated acquisition search
+/// only -- the trial's bits/errors then count acquisition *attempts* and
+/// timing failures (bits = 1, errors = timing_correct ? 0 : 1), so the
+/// standard error-count stopping rules and the BER column read as attempt
+/// count and timing-failure rate. Only generations whose LinkCaps set
+/// supports_acquisition_trials accept kAcquisition.
+enum class TrialKind { kPacket, kAcquisition };
+
+/// Canonical names of the scalar metrics the links emit on TrialResult.
+/// One shared vocabulary: specs name these in record_metrics, stop rules
+/// target them, result docs key their per-metric statistics on them.
+namespace metric_names {
+inline constexpr const char* kAcquired = "acquired";                     ///< 0/1
+inline constexpr const char* kTimingCorrect = "timing_correct";          ///< 0/1
+inline constexpr const char* kSyncTime = "sync_time_s";                  ///< detected trials only
+inline constexpr const char* kRakeEnergyCapture = "rake_energy_capture"; ///< gen-2
+inline constexpr const char* kSnrEstimate = "snr_estimate_db";           ///< gen-2
+}  // namespace metric_names
+
 /// Channel/impairment options for one packet trial, shared by both
 /// generations. Field defaults match the gen-2 100 Mbps link benches;
 /// default_options(Generation::kGen1) returns the gen-1 BER-run defaults
 /// (short payload, genie timing). Options a generation cannot honor
-/// (interferer / auto_notch / fec on gen-1) make run_packet throw -- see
-/// LinkCaps for querying support up front.
+/// (interferer / auto_notch / fec on gen-1, acquisition trials on gen-2)
+/// make run_packet throw -- see LinkCaps for querying support up front.
 struct TrialOptions {
+  TrialKind kind = TrialKind::kPacket;  ///< packet (BER) vs acquisition trial
   int cm = 0;                    ///< 0 = AWGN only, 1..4 = 802.15.3a CM1..CM4
   ChannelSource channel_source;  ///< fresh draw (default) vs shared ensemble
   double ebn0_db = 10.0;
   std::size_t payload_bits = 200;
   bool genie_timing = false;     ///< BER-only runs skip acquisition
+
+  /// kAcquisition: found timing counts as correct within +/- this many ADC
+  /// samples of the true offset (modulo one PN period).
+  std::size_t acq_tol_samples = 2;
+
+  /// Which of the link's metrics to record (empty = all the trial emits).
+  /// Names must come from the trial kind's vocabulary -- see
+  /// trial_metric_names; validate_spec and the spec reader reject unknown
+  /// names loudly.
+  std::vector<std::string> record_metrics;
 
   /// Random TX start, what acquisition must find. Gen-2 draws a delay in
   /// analog samples, gen-1 in PRF frames; both fields carry their
@@ -113,16 +146,32 @@ struct TrialOptions {
 /// returns the short-payload genie-timed BER-run defaults.
 [[nodiscard]] TrialOptions default_options(Generation gen);
 
-/// Generation-agnostic outcome of one packet trial: the error counts every
-/// Monte-Carlo loop consumes plus the diagnostics both generations can
-/// report. Generation-specific detail (CIR estimates, soft streams,
-/// acquisition metrics) lives in Gen1TrialResult / Gen2TrialResult.
+/// Generation-agnostic outcome of one trial: the bit/error pair every
+/// Monte-Carlo loop consumes (first-class, never a metric) plus an
+/// extensible record of named scalar metrics -- acquisition flags, sync
+/// time, RAKE capture, SNR estimate (see metric_names). A metric absent
+/// from a trial contributes no observation to its reduction (sync_time_s
+/// is emitted only on detected trials, so its mean averages the detected
+/// subset). Generation-specific detail (CIR estimates, soft streams,
+/// acquisition internals) lives in Gen1TrialResult / Gen2TrialResult.
 struct TrialResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
-  bool acquired = true;
-  double rake_energy_capture = 0.0;  ///< gen-2 RAKE estimate, 0 for gen-1
-  double snr_estimate_db = 0.0;      ///< gen-2 data-aided estimate, 0 for gen-1
+
+  /// (name, value) in emission order; names unique per trial.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set_metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+
+  /// The named metric's value, or nullopt when this trial did not emit it.
+  [[nodiscard]] std::optional<double> metric(const std::string& name) const {
+    for (const auto& [key, value] : metrics) {
+      if (key == name) return value;
+    }
+    return std::nullopt;
+  }
 };
 
 /// What a link implementation supports; make_link validates a spec's
@@ -135,8 +184,23 @@ struct LinkCaps {
   bool supports_interferer = false;
   bool supports_auto_notch = false;
   bool supports_fec = false;
-  bool supports_acquisition_trials = false;  ///< dedicated acquisition runs
+  bool supports_acquisition_trials = false;  ///< accepts TrialKind::kAcquisition
+
+  /// Every metric name this link can emit on TrialResult, across all trial
+  /// kinds (trial_metric_names narrows this to one kind's emission set).
+  std::vector<std::string> metric_names;
 };
+
+/// Exactly the metric names a (generation, kind) trial emits on
+/// TrialResult -- the vocabulary record_metrics and stop-rule metrics must
+/// come from. \throws InvalidArgument when the generation does not support
+/// the kind.
+[[nodiscard]] std::vector<std::string> trial_metric_names(Generation gen, TrialKind kind);
+
+/// True when a (generation, kind) trial emits the named metric -- the one
+/// membership check every record_metrics / stop-metric validator shares.
+/// \throws InvalidArgument when the generation does not support the kind.
+[[nodiscard]] bool emits_metric(Generation gen, TrialKind kind, const std::string& name);
 
 /// Abstract generation-agnostic link.
 ///
@@ -299,9 +363,14 @@ class Gen1Link final : public Link {
     return run_packet_full(options, rng_, TrialContext{});
   }
 
-  /// Acquisition-only trial: returns the acquisition result plus whether
-  /// the found timing matches the true one (within +/- tol samples, modulo
-  /// one PN period).
+  /// Acquisition-only trial diagnostics: the acquisition result plus
+  /// whether the found timing matches the true one (within +/- tol
+  /// samples, modulo one PN period). run_packet with
+  /// TrialOptions::kind == kAcquisition runs this same trial through the
+  /// generic Link interface -- bits/errors count attempts and timing
+  /// failures, metrics carry acquired / timing_correct / sync_time_s --
+  /// so acquisition scenarios flow through the sweep engine like any
+  /// other; these overloads stay for callers that inspect Gen1AcqResult.
   struct AcqTrial {
     Gen1AcqResult acq;
     bool timing_correct = false;
@@ -310,9 +379,11 @@ class Gen1Link final : public Link {
   [[nodiscard]] AcqTrial run_acquisition(const TrialOptions& options,
                                          std::size_t tol_samples = 2);
 
-  /// Seed-parameterized acquisition trial.
+  /// Seed-parameterized acquisition trial; ensemble-mode options take
+  /// their multipath realization from \p context like run_packet does.
   [[nodiscard]] AcqTrial run_acquisition(const TrialOptions& options, Rng& rng,
-                                         std::size_t tol_samples);
+                                         std::size_t tol_samples,
+                                         const TrialContext& context = TrialContext{});
 
  private:
   Gen1Config config_;

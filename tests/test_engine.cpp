@@ -67,7 +67,10 @@ sim::TrialOutcome synthetic_trial(std::size_t /*index*/, Rng& rng) {
   for (std::size_t b = 0; b < bits; ++b) {
     if (rng.uniform() < 0.02) ++errors;
   }
-  return {bits, errors};
+  sim::TrialOutcome out;
+  out.bits = bits;
+  out.errors = errors;
+  return out;
 }
 
 void expect_points_equal(const sim::BerPoint& a, const sim::BerPoint& b) {
@@ -121,7 +124,7 @@ TEST(ParallelBer, MaxTrialsHardStopWithZeroBitTrials) {
   stop.max_trials = 9;
   ThreadPool pool(3);
   const sim::BerPoint point = measure_ber_parallel(
-      [] { return TrialFn([](std::size_t, Rng&) { return sim::TrialOutcome{0, 0}; }); },
+      [] { return TrialFn([](std::size_t, Rng&) { return sim::TrialOutcome{0, 0, {}}; }); },
       stop, Rng(2), pool);
   EXPECT_EQ(point.trials, 9u);
   EXPECT_EQ(point.bits, 0u);
@@ -138,7 +141,7 @@ TEST(ParallelBer, DegenerateBudgetsRunNothing) {
       [&calls] {
         return TrialFn([&calls](std::size_t, Rng&) {
           ++calls;
-          return sim::TrialOutcome{1, 0};
+          return sim::TrialOutcome{1, 0, {}};
         });
       },
       stop, Rng(1), pool);
@@ -379,8 +382,17 @@ TEST(SweepEngine, FftFastPathKeepsSweepBytesIdentical) {
   // changed a committed result on that toolchain -- re-pin the seed (or
   // widen the slice's Eb/N0 margin) only after confirming the flip is a
   // rounding-level decision tie, not a kernel bug.
-  const ScenarioSpec slice = cm_grid_slice();
+  //
+  // Continuous estimator metrics (SNR estimate, RAKE capture) are
+  // *expected* to differ between the kernels at that rounding level, so
+  // this cross-kernel comparison records only the decision-level metric;
+  // FastPathDigestIndependentOfWorkerCount covers the continuous metrics
+  // within one kernel.
+  ScenarioSpec slice = cm_grid_slice();
   ASSERT_EQ(slice.points.size(), 2u);
+  for (PointSpec& point : slice.points) {
+    point.link.options.record_metrics = {txrx::metric_names::kAcquired};
+  }
 
   SweepConfig config;
   config.seed = 0xFA57'0001;
@@ -486,6 +498,271 @@ TEST(SweepEngine, RejectsBadShardConfig) {
   config.shard_count = 2;
   config.shard_index = 2;
   EXPECT_THROW(SweepEngine{config}, InvalidArgument);
+}
+
+// ------------------------------------------------------- metric pipeline ----
+
+TEST(MetricStats, VarianceMatchesHandComputedFixture) {
+  // Hand-computed: values {2, 4, 4, 4, 5, 5, 7, 9} -> mean 5, population
+  // variance 4, sample variance 32/7.
+  sim::MetricStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count, 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 32.0 / 7.0);
+
+  // Degenerate counts: no observations and one observation both report 0.
+  sim::MetricStats empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  sim::MetricStats one;
+  one.add(3.5);
+  EXPECT_DOUBLE_EQ(one.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+
+  // merge() == adding the same observations to one accumulator.
+  sim::MetricStats a, b;
+  for (double v : {2.0, 4.0, 4.0, 4.0}) a.add(v);
+  for (double v : {5.0, 5.0, 7.0, 9.0}) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count, stats.count);
+  EXPECT_DOUBLE_EQ(a.mean(), stats.mean());
+}
+
+/// A synthetic metric-emitting trial: every trial emits "flag" (success on
+/// ~70% of trials) and "value"; only successful trials emit "latency" --
+/// the conditional-emission shape of the gen-1 sync-time metric.
+sim::TrialOutcome metric_trial(std::size_t /*index*/, Rng& rng) {
+  sim::TrialOutcome out;
+  out.bits = 10;
+  const bool ok = rng.uniform() < 0.7;
+  out.errors = ok ? 0 : 2;
+  out.metrics.emplace_back("flag", ok ? 1.0 : 0.0);
+  out.metrics.emplace_back("value", rng.uniform());
+  if (ok) out.metrics.emplace_back("latency", 1.0 + rng.uniform());
+  return out;
+}
+
+TEST(MetricAccumulator, SerialReductionMatchesDirectComputation) {
+  sim::BerStop stop;
+  stop.min_errors = 1000;
+  stop.max_bits = 200;  // exactly 20 trials
+  const Rng root(0xACC);
+
+  // Reference: replay the same forked trial stream by hand.
+  std::size_t flags = 0, latencies = 0;
+  double latency_sum = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    Rng rng = root.fork(i);
+    const sim::TrialOutcome out = metric_trial(i, rng);
+    for (const auto& [name, value] : out.metrics) {
+      if (name == "flag" && value != 0.0) ++flags;
+      if (name == "latency") {
+        ++latencies;
+        latency_sum += value;
+      }
+    }
+  }
+
+  const sim::MeasuredPoint point = measure_point_serial(metric_trial, stop, root);
+  EXPECT_EQ(point.ber.trials, 20u);
+  const sim::MetricStats* flag = point.metrics.find("flag");
+  const sim::MetricStats* latency = point.metrics.find("latency");
+  const sim::MetricStats* value = point.metrics.find("value");
+  ASSERT_NE(flag, nullptr);
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(flag->count, 20u);
+  EXPECT_DOUBLE_EQ(flag->mean(), static_cast<double>(flags) / 20.0);
+  // Conditional emission: latency averages only the successful trials.
+  EXPECT_EQ(latency->count, latencies);
+  EXPECT_LT(latency->count, 20u);
+  EXPECT_DOUBLE_EQ(latency->sum, latency_sum);
+  EXPECT_EQ(value->count, 20u);
+  EXPECT_EQ(point.metrics.find("no_such_metric"), nullptr);
+  // Order: first-appearance order of emission.
+  ASSERT_EQ(point.metrics.entries().size(), 3u);
+  EXPECT_EQ(point.metrics.entries()[0].first, "flag");
+  EXPECT_EQ(point.metrics.entries()[1].first, "value");
+  EXPECT_EQ(point.metrics.entries()[2].first, "latency");
+}
+
+TEST(MetricAccumulator, ParallelMetricsMatchSerialExactly) {
+  sim::BerStop stop;
+  stop.min_errors = 40;
+  stop.max_bits = 5000;
+  const Rng root(0xFACE);
+  const sim::MeasuredPoint serial = measure_point_serial(metric_trial, stop, root);
+  ASSERT_FALSE(serial.metrics.empty());
+
+  for (std::size_t workers : {1u, 4u, 8u}) {
+    SCOPED_TRACE(workers);
+    ThreadPool pool(workers);
+    const sim::MeasuredPoint parallel =
+        measure_point_parallel([] { return TrialFn(metric_trial); }, stop, root, pool);
+    expect_points_equal(serial.ber, parallel.ber);
+    ASSERT_EQ(parallel.metrics.entries().size(), serial.metrics.entries().size());
+    for (std::size_t m = 0; m < serial.metrics.entries().size(); ++m) {
+      const auto& [name, stats] = serial.metrics.entries()[m];
+      const auto& [pname, pstats] = parallel.metrics.entries()[m];
+      EXPECT_EQ(pname, name);
+      EXPECT_EQ(pstats.count, stats.count);
+      // Bit-identical sums: ordered commit accumulates in trial order.
+      EXPECT_EQ(pstats.sum, stats.sum);
+      EXPECT_EQ(pstats.sum_sq, stats.sum_sq);
+    }
+  }
+}
+
+TEST(MetricAccumulator, MetricStopRuleCountsFailedTrials) {
+  // stop.metric = "flag": the error budget counts trials whose flag is 0
+  // (or absent), not bit errors. The serial reference defines the answer.
+  sim::BerStop stop;
+  stop.min_errors = 5;
+  stop.max_bits = 100000;
+  stop.max_trials = 100000;
+  stop.metric = "flag";
+  const Rng root(0x57D0);
+
+  const sim::MeasuredPoint point = measure_point_serial(metric_trial, stop, root);
+  const sim::MetricStats* flag = point.metrics.find("flag");
+  ASSERT_NE(flag, nullptr);
+  // Exactly min_errors failed trials committed (the last commit trips it).
+  EXPECT_EQ(flag->count - static_cast<std::size_t>(flag->sum), 5u);
+  EXPECT_LT(point.ber.trials, 100000u);
+
+  // Parallel agrees for any worker count.
+  ThreadPool pool(4);
+  const sim::MeasuredPoint parallel =
+      measure_point_parallel([] { return TrialFn(metric_trial); }, stop, root, pool);
+  expect_points_equal(point.ber, parallel.ber);
+
+  // A metric no trial emits never succeeds: every trial is an error, so
+  // the loop stops after exactly min_errors trials.
+  sim::BerStop missing = stop;
+  missing.metric = "not_emitted";
+  const sim::MeasuredPoint degenerate = measure_point_serial(metric_trial, missing, root);
+  EXPECT_EQ(degenerate.ber.trials, 5u);
+}
+
+TEST(SweepEngine, AcquisitionScenarioByteIdenticalAcrossWorkerCounts) {
+  // The acceptance gate for the ported metric scenarios: a 1-worker and an
+  // 8-worker run of an acquisition-kind sweep (gen-1 side door folded into
+  // run_packet) must serialize byte-identical JSON, metrics included.
+  ScenarioSpec scenario = ScenarioRegistry::global().make("gen1_acquisition");
+  restrict_scenario(scenario, "ebn0_db", "14");
+  restrict_scenario(scenario, "preamble_reps", "2");
+  ASSERT_EQ(scenario.points.size(), 1u);
+
+  SweepConfig config;
+  config.seed = 0xACC'0001;
+  config.stop.min_errors = 100;
+  config.stop.max_bits = 6;  // six acquisition attempts
+  config.stop.max_trials = 6;
+
+  uint64_t digests[2] = {};
+  const std::size_t worker_counts[] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    config.workers = worker_counts[i];
+    const std::string path =
+        "test_results/acq_w" + std::to_string(worker_counts[i]) + ".json";
+    JsonSink json(path);
+    const SweepResult result = SweepEngine(config).run(scenario, {&json});
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].ber.trials, 6u);
+    // Acquisition accounting: one "bit" per attempt.
+    EXPECT_EQ(result.records[0].ber.bits, 6u);
+    const sim::MetricStats* acquired =
+        result.records[0].metrics.find(txrx::metric_names::kAcquired);
+    ASSERT_NE(acquired, nullptr);
+    EXPECT_EQ(acquired->count, 6u);
+    digests[i] = fnv1a(slurp(path));
+  }
+  EXPECT_NE(digests[0], fnv1a(""));
+  EXPECT_EQ(digests[0], digests[1]);
+
+  const std::string bytes = slurp("test_results/acq_w1.json");
+  EXPECT_NE(bytes.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"timing_correct\""), std::string::npos);
+}
+
+TEST(SweepEngine, PortedMetricScenariosByteIdenticalAcrossWorkerCounts) {
+  // Every scenario ported off the sequential sim::measure_ber path: a
+  // 1-worker and an 8-worker run (first two grid points, tiny budgets)
+  // must serialize byte-identical result JSON. gen1_acquisition has its
+  // own deeper test above.
+  for (const char* name :
+       {"gen1_sync", "gen2_chanest_precision", "gen2_mlse_isi", "gen2_mlse_memory"}) {
+    SCOPED_TRACE(name);
+    ScenarioSpec scenario = ScenarioRegistry::global().make(name);
+    ASSERT_GE(scenario.points.size(), 2u);
+    scenario.points.resize(2);
+
+    SweepConfig config;
+    config.seed = 0x3AD5;
+    config.stop.min_errors = 3;
+    config.stop.max_bits = 600;
+    config.stop.max_trials = 3;
+
+    uint64_t digests[2] = {};
+    const std::size_t worker_counts[] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+      config.workers = worker_counts[i];
+      const std::string path = std::string("test_results/ported_") + name + "_w" +
+                               std::to_string(worker_counts[i]) + ".json";
+      JsonSink json(path);
+      const SweepResult result = SweepEngine(config).run(scenario, {&json});
+      ASSERT_EQ(result.records.size(), 2u);
+      EXPECT_FALSE(result.records[0].metrics.empty());
+      digests[i] = fnv1a(slurp(path));
+    }
+    EXPECT_NE(digests[0], fnv1a(""));
+    EXPECT_EQ(digests[0], digests[1]);
+  }
+}
+
+TEST(SweepEngine, RecordMetricsFiltersAndOrdersReductions) {
+  ScenarioSpec scenario = tiny_scenario();
+  scenario.points.resize(1);
+  // Reversed order relative to emission: the filter list dictates the
+  // recorded order, so result columns follow the spec, not the link.
+  scenario.points[0].link.options.record_metrics = {
+      txrx::metric_names::kSnrEstimate, txrx::metric_names::kAcquired};
+
+  SweepConfig config;
+  config.stop = tiny_stop();
+  const SweepResult result = SweepEngine(config).run(scenario);
+  ASSERT_EQ(result.records.size(), 1u);
+  const auto& entries = result.records[0].metrics.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, txrx::metric_names::kSnrEstimate);
+  EXPECT_EQ(entries[1].first, txrx::metric_names::kAcquired);
+}
+
+TEST(SweepEngine, StopMetricNotRecordedFailsBeforeAnyTrialRuns) {
+  // A stop metric the points cannot see (wrong vocabulary, or filtered out
+  // by record_metrics) must be rejected up front.
+  ScenarioSpec scenario = tiny_scenario();
+  SweepConfig config;
+  config.stop = tiny_stop();
+  config.stop.metric = txrx::metric_names::kTimingCorrect;  // gen-2 never emits it
+  EXPECT_THROW((void)SweepEngine(config).run(scenario), InvalidArgument);
+
+  ScenarioSpec filtered = tiny_scenario();
+  for (PointSpec& point : filtered.points) {
+    point.link.options.record_metrics = {txrx::metric_names::kSnrEstimate};
+  }
+  SweepConfig config2;
+  config2.stop = tiny_stop();
+  config2.stop.metric = txrx::metric_names::kAcquired;  // emitted but not recorded
+  EXPECT_THROW((void)SweepEngine(config2).run(filtered), InvalidArgument);
+
+  // Recording it makes the same rule valid.
+  for (PointSpec& point : filtered.points) {
+    point.link.options.record_metrics = {txrx::metric_names::kAcquired};
+  }
+  const SweepResult result = SweepEngine(config2).run(filtered);
+  EXPECT_EQ(result.records.size(), filtered.points.size());
 }
 
 TEST(SweepEngine, RunNamedExecutesRegistryScenario) {

@@ -211,6 +211,64 @@ TEST(SpecIo, BerStopRoundTrip) {
   EXPECT_EQ(back.min_errors, 7u);
   EXPECT_EQ(back.max_bits, 1234u);
   EXPECT_EQ(back.max_trials, 99u);
+  EXPECT_EQ(back.metric, "");
+
+  // The generalized rule's metric round-trips (and is only serialized when
+  // set, so legacy documents parse as bit-error rules).
+  stop.metric = "timing_correct";
+  EXPECT_EQ(ber_stop_from_json(parse_json(dump_json(to_json(stop)))).metric,
+            "timing_correct");
+}
+
+TEST(SpecIo, TrialKindAndRecordMetricsRoundTrip) {
+  txrx::TrialOptions options = txrx::default_options(txrx::Generation::kGen1);
+  options.kind = txrx::TrialKind::kAcquisition;
+  options.genie_timing = false;
+  options.acq_tol_samples = 5;
+  options.record_metrics = {txrx::metric_names::kTimingCorrect,
+                            txrx::metric_names::kSyncTime};
+  const txrx::TrialOptions back =
+      trial_options_from_json(parse_json(dump_json(to_json(options))));
+  EXPECT_EQ(back.kind, txrx::TrialKind::kAcquisition);
+  EXPECT_EQ(back.acq_tol_samples, 5u);
+  EXPECT_EQ(back.record_metrics, options.record_metrics);
+
+  // Defaults for terse documents.
+  EXPECT_EQ(trial_options_from_json(parse_json("{}")).kind, txrx::TrialKind::kPacket);
+  EXPECT_TRUE(trial_options_from_json(parse_json("{}")).record_metrics.empty());
+  // A bogus kind fails loudly.
+  EXPECT_THROW((void)trial_options_from_json(parse_json(R"({"kind": "acquisiton"})")),
+               InvalidArgument);
+}
+
+TEST(SpecIo, UnknownMetricNameInSpecFailsLoudly) {
+  // Strict like the unknown-key checks: a typo'd metric name in
+  // record_metrics must fail at load time, not record empty columns.
+  EXPECT_THROW(
+      (void)link_spec_from_json(parse_json(
+          R"({"generation": "gen1", "config": {},
+              "options": {"kind": "acquisition", "genie_timing": false,
+                          "record_metrics": ["sync_tyme_s"]}})")),
+      InvalidArgument);
+  // A real metric of the wrong trial kind is equally unknown: a gen-1
+  // *packet* trial never emits sync_time_s.
+  EXPECT_THROW(
+      (void)link_spec_from_json(parse_json(
+          R"({"generation": "gen1", "config": {},
+              "options": {"record_metrics": ["sync_time_s"]}})")),
+      InvalidArgument);
+  // And an acquisition-kind spec on gen-2 is rejected outright.
+  EXPECT_THROW((void)link_spec_from_json(parse_json(
+                   R"({"generation": "gen2", "config": {},
+                       "options": {"kind": "acquisition",
+                                   "record_metrics": ["acquired"]}})")),
+               InvalidArgument);
+  // The same names spelled correctly load fine.
+  const txrx::LinkSpec ok = link_spec_from_json(parse_json(
+      R"({"generation": "gen1", "config": {},
+          "options": {"kind": "acquisition", "genie_timing": false,
+                      "record_metrics": ["acquired", "sync_time_s"]}})"));
+  EXPECT_EQ(ok.options.record_metrics.size(), 2u);
 }
 
 TEST(SpecIo, ScenarioFileRoundTripPreservesTagsAndLabels) {
@@ -300,6 +358,46 @@ TEST(ResultIo, WriteParseWriteIsByteIdentical) {
   EXPECT_EQ(parsed.points.size(), 1u);
   EXPECT_EQ(parsed.points[0].tags, point.tags);
   EXPECT_EQ(write_result_json(parsed), text);
+}
+
+TEST(ResultIo, MetricsAndStopMetricRoundTripByteIdentical) {
+  ResultDoc doc;
+  doc.scenario = "acq";
+  doc.seed = 7;
+  doc.stop.min_errors = 10;
+  doc.stop.max_bits = 25;
+  doc.stop.max_trials = 25;
+  doc.stop.metric = "timing_correct";
+  ResultPoint point;
+  point.index = 0;
+  point.label = "2 | 14";
+  point.tags = {{"preamble_reps", "2"}, {"ebn0_db", "14"}};
+  point.ber = "0.08";
+  point.ci95 = "0.1";
+  point.errors = 2;
+  point.bits = 25;
+  point.trials = 25;
+  point.metrics = {{"acquired", 25, "0.96", "0.04"},
+                   {"sync_time_s", 24, "6.48e-05", "1.2e-11"}};
+  doc.points.push_back(point);
+
+  const std::string text = write_result_json(doc);
+  const ResultDoc parsed = parse_result_json(text);
+  EXPECT_EQ(parsed.stop.metric, "timing_correct");
+  ASSERT_EQ(parsed.points.size(), 1u);
+  EXPECT_EQ(parsed.points[0].metrics, point.metrics);
+  EXPECT_EQ(write_result_json(parsed), text);
+}
+
+TEST(ResultIo, MergeRejectsStopMetricMismatch) {
+  ResultDoc a, b;
+  a.scenario = b.scenario = "s";
+  a.seed = b.seed = 1;
+  a.stop.metric = "timing_correct";
+  b.stop.metric = "";
+  EXPECT_THROW((void)merge_results({a, b}), InvalidArgument);
+  b.stop.metric = "timing_correct";
+  EXPECT_EQ(merge_results({a, b}).stop.metric, "timing_correct");
 }
 
 TEST(ResultIo, MergeRestoresUnshardedDocument) {

@@ -269,9 +269,11 @@ TEST(UnifiedLink, SamePacketThroughBaseAndConcreteInterfaces) {
 
   EXPECT_EQ(slim.bits, full.bits);
   EXPECT_EQ(slim.errors, full.errors);
-  EXPECT_EQ(slim.acquired, full.rx.acquired);
-  EXPECT_EQ(slim.rake_energy_capture, full.rx.rake_energy_capture);
-  EXPECT_EQ(slim.snr_estimate_db, full.rx.snr_estimate_db);
+  ASSERT_TRUE(slim.metric(metric_names::kAcquired).has_value());
+  EXPECT_EQ(*slim.metric(metric_names::kAcquired), full.rx.acquired ? 1.0 : 0.0);
+  EXPECT_EQ(slim.metric(metric_names::kRakeEnergyCapture), full.rx.rake_energy_capture);
+  EXPECT_EQ(slim.metric(metric_names::kSnrEstimate), full.rx.snr_estimate_db);
+  EXPECT_FALSE(slim.metric("no_such_metric").has_value());
 }
 
 TEST(UnifiedLink, Gen1RejectsGen2OnlyOptionsLoudly) {
@@ -289,6 +291,79 @@ TEST(UnifiedLink, Gen1RejectsGen2OnlyOptionsLoudly) {
   Gen1Link link(sim::gen1_fast(), 1);
   Rng rng(5);
   EXPECT_THROW((void)link.run_packet(interferer, rng), InvalidArgument);
+}
+
+TEST(UnifiedLink, AcquisitionTrialsRunThroughRunPacket) {
+  // The gen-1 acquisition side door folded into the generic interface:
+  // run_packet(kind = kAcquisition) must report exactly what
+  // run_acquisition reports, as attempt/failure accounting plus metrics.
+  const Gen1Config config = sim::gen1_nominal();
+  TrialOptions options = default_options(Generation::kGen1);
+  options.kind = TrialKind::kAcquisition;
+  options.genie_timing = false;
+  options.payload_bits = 8;
+  options.ebn0_db = 18.0;
+
+  Gen1Link detailed(config, 0xACE);
+  Rng rng_a(42);
+  const Gen1Link::AcqTrial reference =
+      detailed.run_acquisition(options, rng_a, options.acq_tol_samples);
+
+  const auto link = make_link(LinkSpec::for_gen1(config, options), 0xACE);
+  Rng rng_b(42);
+  const TrialResult trial = link->run_packet(options, rng_b);
+
+  EXPECT_EQ(trial.bits, 1u);  // one acquisition attempt
+  EXPECT_EQ(trial.errors, reference.timing_correct ? 0u : 1u);
+  EXPECT_EQ(trial.metric(metric_names::kAcquired), reference.acq.acquired ? 1.0 : 0.0);
+  EXPECT_EQ(trial.metric(metric_names::kTimingCorrect),
+            reference.timing_correct ? 1.0 : 0.0);
+  if (reference.acq.acquired) {
+    EXPECT_EQ(trial.metric(metric_names::kSyncTime), reference.acq.sync_time_s);
+  } else {
+    EXPECT_FALSE(trial.metric(metric_names::kSyncTime).has_value());
+  }
+}
+
+TEST(UnifiedLink, Gen2RejectsAcquisitionTrialsLoudly) {
+  TrialOptions options;  // gen-2 defaults
+  options.kind = TrialKind::kAcquisition;
+  EXPECT_THROW((void)make_link(LinkSpec::for_gen2(sim::gen2_fast(), options), 1),
+               InvalidArgument);
+  Gen2Link link(sim::gen2_fast(), 1);
+  Rng rng(5);
+  EXPECT_THROW((void)link.run_packet(options, rng), InvalidArgument);
+  EXPECT_THROW((void)trial_metric_names(Generation::kGen2, TrialKind::kAcquisition),
+               InvalidArgument);
+}
+
+TEST(UnifiedLink, MetricVocabularyMatchesCapsAndKind) {
+  // Caps advertise the full vocabulary; trial_metric_names narrows it to
+  // what one trial kind actually emits, and the emitted sets match what
+  // run_packet produces (the acquired flag at minimum).
+  const auto gen1 = make_link(LinkSpec::for_gen1(sim::gen1_fast()), 3);
+  const auto gen2 = make_link(LinkSpec::for_gen2(sim::gen2_fast()), 3);
+  EXPECT_EQ(gen1->caps().metric_names,
+            (std::vector<std::string>{metric_names::kAcquired,
+                                      metric_names::kTimingCorrect,
+                                      metric_names::kSyncTime}));
+  EXPECT_EQ(gen2->caps().metric_names,
+            (std::vector<std::string>{metric_names::kAcquired,
+                                      metric_names::kRakeEnergyCapture,
+                                      metric_names::kSnrEstimate}));
+  EXPECT_EQ(trial_metric_names(Generation::kGen1, TrialKind::kPacket),
+            (std::vector<std::string>{metric_names::kAcquired}));
+  EXPECT_EQ(trial_metric_names(Generation::kGen1, TrialKind::kAcquisition),
+            gen1->caps().metric_names);
+  EXPECT_EQ(trial_metric_names(Generation::kGen2, TrialKind::kPacket),
+            gen2->caps().metric_names);
+
+  // validate_spec rejects names outside the kind's vocabulary.
+  LinkSpec spec = LinkSpec::for_gen1(sim::gen1_fast());
+  spec.options.record_metrics = {metric_names::kSyncTime};  // packet kind: not emitted
+  EXPECT_THROW(validate_spec(spec), InvalidArgument);
+  spec.options.record_metrics = {metric_names::kAcquired};
+  EXPECT_NO_THROW(validate_spec(spec));
 }
 
 }  // namespace

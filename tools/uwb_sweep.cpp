@@ -70,6 +70,9 @@ int usage(std::FILE* out) {
                "  --fast             shrink the stopping rule (min_errors/4, max_bits/8)\n"
                "  --min-errors E, --max-bits B, --max-trials T\n"
                "                     stopping rule (defaults: 40, 120000, 100000)\n"
+               "  --stop-metric M    count min-errors against failed trials of the\n"
+               "                     named success-flag metric (e.g. timing_correct)\n"
+               "                     instead of bit errors; every point must record M\n"
                "  --channel-ensemble N\n"
                "                     share one N-realization channel ensemble per CM\n"
                "                     profile instead of drawing fresh per trial\n"
@@ -151,6 +154,7 @@ Args parse_args(int argc, char** argv) {
       args.sweep.stop.max_bits = parse_u64(next(i, "--max-bits"), "--max-bits");
     else if (arg == "--max-trials")
       args.sweep.stop.max_trials = parse_u64(next(i, "--max-trials"), "--max-trials");
+    else if (arg == "--stop-metric") args.sweep.stop.metric = next(i, "--stop-metric");
     else if (arg == "--out") args.out_path = next(i, "--out");
     else if (arg == "--dump-scenario") args.dump_scenario_path = next(i, "--dump-scenario");
     else if (arg == "--channel-ensemble") {
@@ -177,10 +181,9 @@ Args parse_args(int argc, char** argv) {
     }
   }
   if (args.fast) {
-    // Same scaling as the benches' fast mode, clamped so a small budget can
-    // never degenerate to zero.
-    args.sweep.stop.min_errors = std::max<std::size_t>(1, args.sweep.stop.min_errors / 4);
-    args.sweep.stop.max_bits = std::max<std::size_t>(1, args.sweep.stop.max_bits / 8);
+    // Same scaling as the benches' fast mode (one shared clamped helper:
+    // a small budget can never degenerate to zero).
+    args.sweep.stop = sim::scale_stop(args.sweep.stop, 4, 8);
   }
   detail::require(!args.channel_seed.has_value() || args.channel_ensemble >= 1,
                   "--channel-seed needs --channel-ensemble");
