@@ -77,17 +77,35 @@ void FftPlan::inverse(CplxVec& x) const {
   inverse(x.data());
 }
 
+namespace {
+// Plan-cache state. The map is never destroyed (returned references must
+// stay valid for the process lifetime); hit/miss counters live under the
+// same mutex as the map, so fft_plan pays no extra synchronization.
+std::mutex g_plan_mutex;
+std::uint64_t g_plan_hits = 0;
+std::uint64_t g_plan_misses = 0;
+}  // namespace
+
 const FftPlan& fft_plan(std::size_t n) {
   detail::require(is_pow2(n), "fft_plan: length must be a power of two");
   // Plans are never evicted, so returned references stay valid; the map
   // lives for the process lifetime and holds one immutable plan per size.
-  static std::mutex mutex;
   static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
       new std::map<std::size_t, std::unique_ptr<FftPlan>>();
-  const std::lock_guard<std::mutex> lock(mutex);
+  const std::lock_guard<std::mutex> lock(g_plan_mutex);
   auto& slot = (*cache)[n];
-  if (slot == nullptr) slot = std::make_unique<FftPlan>(n);
+  if (slot == nullptr) {
+    ++g_plan_misses;
+    slot = std::make_unique<FftPlan>(n);
+  } else {
+    ++g_plan_hits;
+  }
   return *slot;
+}
+
+FftPlanCacheStats fft_plan_cache_stats() {
+  const std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return FftPlanCacheStats{g_plan_hits, g_plan_misses};
 }
 
 // ----------------------------------------------------------- free helpers ----

@@ -57,6 +57,16 @@ class FftPlan {
 /// the returned reference stays valid for the lifetime of the process.
 const FftPlan& fft_plan(std::size_t n);
 
+/// Cumulative hit/miss accounting of the fft_plan cache since process
+/// start. A hit serves an existing plan; a miss pays the twiddle and
+/// bit-reversal table construction. The telemetry layer (src/obs/) reports
+/// per-run deltas of these totals.
+struct FftPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+[[nodiscard]] FftPlanCacheStats fft_plan_cache_stats();
+
 /// In-place forward FFT. \p x must have power-of-two length.
 void fft_inplace(CplxVec& x);
 

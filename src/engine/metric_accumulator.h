@@ -36,6 +36,10 @@ class MetricAccumulator {
   /// The finished point after \p trials committed trials.
   [[nodiscard]] sim::MeasuredPoint finish(std::size_t trials) const;
 
+  /// Committed totals so far (telemetry: stop-rule decision events).
+  [[nodiscard]] std::size_t committed_bits() const noexcept { return ber_.bits(); }
+  [[nodiscard]] std::size_t committed_errors() const noexcept { return error_count(); }
+
  private:
   [[nodiscard]] std::size_t error_count() const noexcept {
     return stop_.metric.empty() ? ber_.errors() : metric_errors_;

@@ -7,8 +7,28 @@
 #include <optional>
 
 #include "engine/metric_accumulator.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace uwb::engine {
+
+namespace {
+
+/// Workers fold consecutive executed trials into one trace span apiece so
+/// a 100k-trial point emits ~1.5k events instead of 100k. Chunks flush at
+/// this size or when the worker leaves its claim loop.
+constexpr std::size_t kTraceChunkTrials = 64;
+
+/// Why the stopping rule fired, for the trace's "stop" instant event.
+const char* stop_reason(const MetricAccumulator& acc, const sim::BerStop& stop,
+                        std::size_t committed) {
+  if (acc.committed_errors() >= stop.min_errors) return "min_errors";
+  if (acc.committed_bits() >= stop.max_bits) return "max_bits";
+  if (committed >= stop.max_trials) return "max_trials";
+  return "unknown";
+}
+
+}  // namespace
 
 sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
                                         const Rng& root) {
@@ -24,7 +44,7 @@ sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop
 
 sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
                                           const sim::BerStop& stop, const Rng& root,
-                                          ThreadPool& pool) {
+                                          ThreadPool& pool, const PointHooks& hooks) {
   // Shared ordered-commit state. Workers race ahead claiming trial indices
   // but outcomes only count once every lower-indexed trial has counted and
   // the stopping rule was still live -- the sequential semantics exactly.
@@ -51,8 +71,28 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
 
   shared.active_workers = num_workers;
   for (std::size_t w = 0; w < num_workers; ++w) {
-    pool.submit([&factory, &stop, &root, &shared, window_cap] {
+    pool.submit([&factory, &stop, &root, &shared, window_cap, hooks] {
       const TrialFn trial = factory();
+      // Trace chunking: consecutive executed trials fold into one span
+      // (see kTraceChunkTrials). Telemetry only -- never touches Rng or
+      // commit state, so results are identical with hooks on or off.
+      std::uint64_t chunk_start_us = 0;
+      std::size_t chunk_first = 0;
+      std::size_t chunk_count = 0;
+      const auto flush_chunk = [&hooks, &chunk_start_us, &chunk_first, &chunk_count] {
+        if (hooks.trace == nullptr || chunk_count == 0) return;
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::kSpan;
+        event.category = "engine";
+        event.name = "trials";
+        event.ts_us = chunk_start_us;
+        event.dur_us = hooks.trace->now_us() - chunk_start_us;
+        event.args.push_back(obs::trace_arg("first", static_cast<std::uint64_t>(chunk_first)));
+        event.args.push_back(obs::trace_arg("count", static_cast<std::uint64_t>(chunk_count)));
+        hooks.trace->record(std::move(event));
+        chunk_count = 0;
+      };
+
       for (;;) {
         std::size_t index;
         {
@@ -66,8 +106,21 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
           if (shared.stopped) break;
         }
 
+        if (hooks.trace != nullptr && chunk_count == 0) {
+          chunk_start_us = hooks.trace->now_us();
+          chunk_first = index;
+        }
+
         Rng trial_rng = root.fork(index);
         sim::TrialOutcome out = trial(index, trial_rng);
+
+        ++chunk_count;
+        if (chunk_count >= kTraceChunkTrials) flush_chunk();
+        if (hooks.progress != nullptr) {
+          hooks.progress->add_trials(1);
+          hooks.progress->add_bits(out.bits);
+          hooks.progress->add_errors(out.errors);
+        }
 
         std::lock_guard<std::mutex> lock(shared.mutex);
         if (shared.stopped) break;
@@ -82,10 +135,21 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
           shared.window.pop_front();
         }
         if (!shared.acc.keep_going(shared.committed)) {
+          if (!shared.stopped && hooks.trace != nullptr) {
+            hooks.trace->instant(
+                "engine", "stop",
+                {obs::trace_arg("reason",
+                                std::string(stop_reason(shared.acc, stop, shared.committed))),
+                 obs::trace_arg("trials", static_cast<std::uint64_t>(shared.committed)),
+                 obs::trace_arg("bits", static_cast<std::uint64_t>(shared.acc.committed_bits())),
+                 obs::trace_arg("errors",
+                                static_cast<std::uint64_t>(shared.acc.committed_errors()))});
+          }
           shared.stopped = true;
         }
         shared.window_open.notify_all();
       }
+      flush_chunk();
 
       std::lock_guard<std::mutex> lock(shared.mutex);
       if (--shared.active_workers == 0) shared.workers_done.notify_all();

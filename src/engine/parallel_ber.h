@@ -18,6 +18,11 @@
 #include "engine/thread_pool.h"
 #include "sim/ber_simulator.h"
 
+namespace uwb::obs {
+class TraceRecorder;
+class ProgressMeter;
+}  // namespace uwb::obs
+
 namespace uwb::engine {
 
 /// One Monte-Carlo trial: a pure function of its trial index and per-trial
@@ -41,6 +46,17 @@ using TrialFactory = std::function<TrialFn()>;
 sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
                                         const Rng& root);
 
+/// Optional telemetry hooks for one point measurement. Both observers may
+/// be null; neither can change the measured result (they never touch Rng
+/// streams or the commit order). With a recorder, each worker records one
+/// "trials" span per executed chunk of trials plus an instant event at the
+/// stop-rule decision; with a progress meter, executed trial/bit/error
+/// counts stream into its atomics.
+struct PointHooks {
+  obs::TraceRecorder* trace = nullptr;
+  obs::ProgressMeter* progress = nullptr;
+};
+
 /// Parallel version of measure_point_serial with identical results:
 /// workers claim trial indices, run them speculatively within a bounded
 /// window ahead of the commit frontier, and commit in index order.
@@ -48,7 +64,7 @@ sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop
 /// never run.
 sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
                                           const sim::BerStop& stop, const Rng& root,
-                                          ThreadPool& pool);
+                                          ThreadPool& pool, const PointHooks& hooks = {});
 
 /// BER-only convenience wrappers (drop the metric reductions).
 sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,

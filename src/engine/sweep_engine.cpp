@@ -5,6 +5,9 @@
 #include <memory>
 
 #include "common/error.h"
+#include "dsp/fft.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "txrx/link.h"
 
 namespace uwb::engine {
@@ -118,22 +121,47 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
 
   for (ResultSink* sink : sinks) sink->begin(result.info);
 
-  ThreadPool pool(config_.workers);
+  // Telemetry baselines: caches are long-lived (possibly process-global),
+  // so the run's counters are deltas over this run alone.
+  ChannelCache& cache =
+      config_.channel_cache != nullptr ? *config_.channel_cache : ChannelCache::global();
+  const ChannelCache::Stats cache_before = cache.stats();
+  const dsp::FftPlanCacheStats fft_before = dsp::fft_plan_cache_stats();
+  const auto run_start = std::chrono::steady_clock::now();
+
+  if (config_.trace != nullptr) config_.trace->name_thread("engine");
+  obs::Span run_span(config_.trace, "engine", "run " + scenario.name);
+  run_span.arg("seed", config_.seed);
+
+  ThreadPool pool(config_.workers, config_.trace);
+
+  if (config_.progress != nullptr) {
+    std::size_t shard_points = 0;
+    for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+      if (p % config_.shard_count == config_.shard_index) ++shard_points;
+    }
+    config_.progress->begin_run(shard_points);
+  }
+
   const Rng sweep_root(config_.seed);
+  const PointHooks hooks{config_.trace, config_.progress};
+  std::uint64_t traced_trials = 0;
+  std::uint64_t traced_errors = 0;
 
   // Points run one after another; the pool parallelizes the trials inside
   // each point. That keeps sink delivery in plan order and makes every
   // point's result an independent pure function of (seed, point_index) --
   // including under sharding, which only skips points and never re-indexes.
-  ChannelCache& cache =
-      config_.channel_cache != nullptr ? *config_.channel_cache : ChannelCache::global();
-
   for (std::size_t p = 0; p < scenario.points.size(); ++p) {
     if (p % config_.shard_count != config_.shard_index) continue;
     const PointSpec& spec = scenario.points[p];
     const Rng point_root = sweep_root.fork(p);
     const Rng trial_root = point_root.fork(kTrialStreamSalt);
     const uint64_t link_seed = point_root.fork(kLinkSeedSalt).seed();
+
+    if (config_.progress != nullptr) config_.progress->begin_point(p, spec.label);
+    obs::Span point_span(config_.trace, "engine", "point " + spec.label);
+    point_span.arg("index", static_cast<std::uint64_t>(p));
 
     // Ensemble-mode multipath points share one realization set per
     // channel-axis group: the cache key is pure spec content (SvParams
@@ -142,16 +170,36 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     std::shared_ptr<const ChannelEnsemble> ensemble;
     const txrx::ChannelSource& source = spec.link.options.channel_source;
     if (source.is_ensemble() && spec.link.options.cm >= 1) {
-      ensemble = cache.get(
-          txrx::ensemble_sv_params(spec.link.options.cm, spec.link.generation()),
-          source.ensemble_seed, source.ensemble_count);
+      channel::SvParams params =
+          txrx::ensemble_sv_params(spec.link.options.cm, spec.link.generation());
+      obs::Span cache_span(config_.trace, "channel_cache", "resolve " + params.name);
+      cache_span.arg("count", static_cast<std::uint64_t>(source.ensemble_count));
+      cache_span.arg("seed", source.ensemble_seed);
+      ensemble = cache.get(params, source.ensemble_seed, source.ensemble_count);
     }
 
     const auto start = std::chrono::steady_clock::now();
     sim::MeasuredPoint measured = measure_point_parallel(
         make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
-        pool);
+        pool, hooks);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    point_span.arg("trials", static_cast<std::uint64_t>(measured.ber.trials));
+    point_span.arg("bits", static_cast<std::uint64_t>(measured.ber.bits));
+    point_span.arg("errors", static_cast<std::uint64_t>(measured.ber.errors));
+    point_span.finish();
+    if (config_.trace != nullptr) {
+      // Cumulative committed totals as counter tracks across the sweep.
+      traced_trials += measured.ber.trials;
+      traced_errors += measured.ber.errors;
+      config_.trace->counter("engine", "committed_trials",
+                             static_cast<double>(traced_trials));
+      config_.trace->counter("engine", "bit_errors", static_cast<double>(traced_errors));
+      const ChannelCache::Stats cs = cache.stats();
+      config_.trace->counter("channel_cache", "sv_draws",
+                             static_cast<double>(cs.sv_draws - cache_before.sv_draws));
+    }
+    if (config_.progress != nullptr) config_.progress->end_point();
 
     PointRecord record;
     record.index = p;
@@ -163,6 +211,22 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     result.records.push_back(std::move(record));
   }
 
+  // Counter totals: pool stats are quiesced (every task finished before
+  // the last point's measure returned), cache counters are run deltas.
+  result.counters.pool = pool.worker_stats();
+  const ChannelCache::Stats cache_after = cache.stats();
+  result.counters.cache_hits = cache_after.hits - cache_before.hits;
+  result.counters.cache_disk_loads = cache_after.disk_loads - cache_before.disk_loads;
+  result.counters.cache_generated = cache_after.generated - cache_before.generated;
+  result.counters.cache_sv_draws = cache_after.sv_draws - cache_before.sv_draws;
+  const dsp::FftPlanCacheStats fft_after = dsp::fft_plan_cache_stats();
+  result.counters.fft_plan_hits = fft_after.hits - fft_before.hits;
+  result.counters.fft_plan_misses = fft_after.misses - fft_before.misses;
+  result.counters.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+  run_span.finish();
+
+  if (config_.progress != nullptr) config_.progress->end_run();
   for (ResultSink* sink : sinks) sink->end(result.info);
   return result;
 }

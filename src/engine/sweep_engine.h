@@ -32,7 +32,13 @@
 #include "engine/scenario_registry.h"
 #include "engine/sinks.h"
 #include "engine/thread_pool.h"
+#include "obs/counters.h"
 #include "sim/ber_simulator.h"
+
+namespace uwb::obs {
+class TraceRecorder;
+class ProgressMeter;
+}  // namespace uwb::obs
 
 namespace uwb::engine {
 
@@ -53,6 +59,13 @@ struct SweepConfig {
   /// function of its ChannelSource key, never of the cache instance, so
   /// this only controls sharing/accounting -- results don't change.
   ChannelCache* channel_cache = nullptr;
+
+  /// Optional telemetry (src/obs/), both observers only: a trace recorder
+  /// collecting spans/counters from the engine, the pool workers, and the
+  /// channel-cache resolution, and a live progress meter fed trial counts.
+  /// Results are byte-identical with either enabled or disabled (tested).
+  obs::TraceRecorder* trace = nullptr;
+  obs::ProgressMeter* progress = nullptr;
 };
 
 /// A completed sweep: the metadata plus every measured point's record in
@@ -60,6 +73,12 @@ struct SweepConfig {
 struct SweepResult {
   SweepInfo info;
   std::vector<PointRecord> records;
+
+  /// Operational counters for this run (always filled; never serialized
+  /// into the result document -- see obs/manifest.h for the sidecar):
+  /// per-worker pool stats, channel-cache and FFT-plan-cache deltas, wall
+  /// time.
+  obs::RunCounters counters;
 
   /// First record whose tags contain every given (axis, value) pair, or
   /// nullptr. Benches use this to pair up points for derived columns.

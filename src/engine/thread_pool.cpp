@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace uwb::engine {
 
 namespace {
@@ -10,16 +12,25 @@ namespace {
 // a task lands on the submitter's own deque (stealable by everyone else).
 thread_local const ThreadPool* t_pool = nullptr;
 thread_local std::size_t t_worker = 0;
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, obs::TraceRecorder* recorder)
+    : recorder_(recorder) {
   if (num_threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     num_threads = hw == 0 ? 1 : hw;
   }
   workers_.reserve(num_threads);
+  counters_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.push_back(std::make_unique<Deque>());
+    counters_.push_back(std::make_unique<WorkerCounters>());
   }
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -64,13 +75,27 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
-bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
+std::vector<obs::PoolWorkerStats> ThreadPool::worker_stats() const {
+  std::vector<obs::PoolWorkerStats> stats;
+  stats.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    obs::PoolWorkerStats w;
+    w.executed = c->executed.load(std::memory_order_relaxed);
+    w.stolen = c->stolen.load(std::memory_order_relaxed);
+    w.idle_us = c->idle_us.load(std::memory_order_relaxed);
+    stats.push_back(w);
+  }
+  return stats;
+}
+
+bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task, bool& stolen) {
   // Own deque first (back: most recently pushed).
   {
     std::lock_guard<std::mutex> lock(workers_[id]->mutex);
     if (!workers_[id]->tasks.empty()) {
       task = std::move(workers_[id]->tasks.back());
       workers_[id]->tasks.pop_back();
+      stolen = false;
       return true;
     }
   }
@@ -82,6 +107,7 @@ bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
     if (!workers_[victim]->tasks.empty()) {
       task = std::move(workers_[victim]->tasks.front());
       workers_[victim]->tasks.pop_front();
+      stolen = true;
       return true;
     }
   }
@@ -91,24 +117,39 @@ bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
 void ThreadPool::worker_loop(std::size_t id) {
   t_pool = this;
   t_worker = id;
+  WorkerCounters& counters = *counters_[id];
+  if (recorder_ != nullptr) {
+    recorder_->name_thread("pool worker " + std::to_string(id));
+  }
   for (;;) {
     std::function<void()> task;
-    if (try_pop(id, task)) {
-      task();
+    bool stolen = false;
+    if (try_pop(id, task, stolen)) {
+      counters.executed.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) counters.stolen.fetch_add(1, std::memory_order_relaxed);
+      if (recorder_ != nullptr) {
+        obs::Span span(recorder_, "pool", stolen ? "task (stolen)" : "task");
+        task();
+      } else {
+        task();
+      }
       std::lock_guard<std::mutex> lock(signal_mutex_);
       if (--unfinished_ == 0) idle_.notify_all();
       continue;
     }
+    const auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(signal_mutex_);
     if (stopping_) return;
     if (unfinished_ == 0) {
       // Nothing queued anywhere; sleep until new work or shutdown.
       work_available_.wait(lock);
+      counters.idle_us.fetch_add(us_since(wait_start), std::memory_order_relaxed);
       continue;
     }
     // Work exists but another worker holds it; brief wait then rescan
     // (covers the race where a task was queued between pop and lock).
     work_available_.wait_for(lock, std::chrono::milliseconds(1));
+    counters.idle_us.fetch_add(us_since(wait_start), std::memory_order_relaxed);
   }
 }
 

@@ -8,7 +8,14 @@
 /// submissions are distributed round-robin. The pool is intentionally
 /// simple -- mutex-per-deque, one condition variable -- because sweep tasks
 /// are milliseconds-to-seconds of signal processing, not nanosecond lambdas.
+///
+/// Observability: every worker counts tasks executed, tasks stolen, and
+/// idle time (always on -- a few relaxed atomic writes per task, read back
+/// through worker_stats()). When the pool is built with a TraceRecorder it
+/// additionally names each worker thread in the trace and records one span
+/// per executed task. Neither affects scheduling or results.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,12 +25,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.h"
+
+namespace uwb::obs {
+class TraceRecorder;
+}  // namespace uwb::obs
+
 namespace uwb::engine {
 
 class ThreadPool {
  public:
   /// \p num_threads 0 picks std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t num_threads = 0);
+  /// \p recorder (optional) receives one "pool" span per executed task.
+  explicit ThreadPool(std::size_t num_threads = 0, obs::TraceRecorder* recorder = nullptr);
 
   /// Drains nothing: outstanding tasks are completed before destruction.
   ~ThreadPool();
@@ -41,17 +55,32 @@ class ThreadPool {
   /// tasks) has finished executing.
   void wait_idle();
 
+  /// Per-worker execution counters. Task counts are exact for all tasks
+  /// completed before the last wait_idle(); idle time covers waits that
+  /// finished by then (the final sleep before destruction is not counted).
+  [[nodiscard]] std::vector<obs::PoolWorkerStats> worker_stats() const;
+
  private:
   struct Deque {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
   };
 
+  /// Relaxed atomics: slots are written by their owning worker and read by
+  /// worker_stats() from the coordinating thread.
+  struct WorkerCounters {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> idle_us{0};
+  };
+
   void worker_loop(std::size_t id);
-  bool try_pop(std::size_t id, std::function<void()>& task);
+  bool try_pop(std::size_t id, std::function<void()>& task, bool& stolen);
 
   std::vector<std::unique_ptr<Deque>> workers_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
   std::vector<std::thread> threads_;
+  obs::TraceRecorder* recorder_ = nullptr;
 
   std::mutex signal_mutex_;
   std::condition_variable work_available_;

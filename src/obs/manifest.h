@@ -1,0 +1,74 @@
+#pragma once
+/// \file manifest.h
+/// \brief The run-manifest sidecar: everything about *how* a sweep ran
+///        (workers, shard, wall time per point, counter totals, build
+///        flags) serialized as `<out>.run.json` next to the result file.
+///
+/// The manifest exists so the committed result JSON can stay a pure
+/// function of (scenario, seed, stop) -- byte-identical for any worker
+/// count, shard split, or telemetry setting -- while the run's operational
+/// evidence (where time went, what the caches did) still lands on disk in
+/// machine-readable form. Nothing in the manifest feeds back into results.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/counters.h"
+#include "sim/ber_simulator.h"
+
+namespace uwb::obs {
+
+/// Toolchain/flags the binary was built with (from predefined macros).
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "g++ 13.2.0" (__VERSION__)
+  std::string build_type;  ///< "release" (NDEBUG) or "debug"
+
+  [[nodiscard]] bool operator==(const BuildInfo&) const = default;
+};
+
+/// The running binary's BuildInfo.
+[[nodiscard]] BuildInfo current_build_info();
+
+/// One point's operational record (never part of the result document).
+struct PointTiming {
+  std::uint64_t index = 0;
+  std::string label;
+  double elapsed_s = 0.0;
+  std::uint64_t trials = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t errors = 0;
+
+  [[nodiscard]] bool operator==(const PointTiming&) const = default;
+};
+
+/// The whole sidecar document.
+struct RunManifest {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t workers = 0;  ///< resolved worker-thread count
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  sim::BerStop stop;
+  std::string result_path;  ///< the result file this manifest describes
+  std::string trace_path;   ///< "" when tracing was off
+  BuildInfo build;
+  RunCounters counters;
+  std::vector<PointTiming> points;
+};
+
+/// Serialization through io::json; from_json is strict (missing or
+/// mistyped members throw InvalidArgument), so a manifest round-trips
+/// exactly: to_json(from_json(x)) reproduces x member for member.
+[[nodiscard]] io::JsonValue manifest_to_json(const RunManifest& manifest);
+[[nodiscard]] RunManifest manifest_from_json(const io::JsonValue& value);
+
+/// Pretty-printed manifest_to_json written to \p path (parent directories
+/// created).
+void write_run_manifest(const RunManifest& manifest, const std::string& path);
+
+/// The conventional sidecar path for a result file: "<result>.run.json".
+[[nodiscard]] std::string manifest_path_for(const std::string& result_path);
+
+}  // namespace uwb::obs

@@ -1,0 +1,120 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace uwb::obs {
+
+namespace {
+
+/// "12.3k" / "4.56M" style throughput rendering.
+std::string humanize(double v) {
+  char buf[32];
+  if (v >= 1e6) std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  else std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(Options options) : options_(options) {
+  out_ = options_.out != nullptr ? options_.out : stderr;
+  options_.interval_s = std::max(options_.interval_s, 0.01);
+}
+
+ProgressMeter::~ProgressMeter() { end_run(); }
+
+void ProgressMeter::begin_run(std::size_t total_points) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;  // one run per meter
+    running_ = true;
+    stop_ = false;
+  }
+  points_total_.store(total_points, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+  last_tick_ = start_;
+  last_trials_ = 0;
+  std::fprintf(out_, "[progress] sweep started: %zu point(s), heartbeat %.2gs\n",
+               total_points, options_.interval_s);
+  std::fflush(out_);
+  thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void ProgressMeter::begin_point(std::size_t index, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  label_ = "#" + std::to_string(index) + " " + label;
+}
+
+void ProgressMeter::end_run() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  print_line(true);
+}
+
+void ProgressMeter::heartbeat_loop() {
+  const auto interval = std::chrono::duration<double>(options_.interval_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    lock.unlock();
+    print_line(false);
+    lock.lock();
+  }
+}
+
+void ProgressMeter::print_line(bool final_line) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  const std::size_t total = points_total_.load(std::memory_order_relaxed);
+  const std::size_t done = points_done_.load(std::memory_order_relaxed);
+  const std::uint64_t trials = trials_.load(std::memory_order_relaxed);
+  const std::uint64_t errors = errors_.load(std::memory_order_relaxed);
+
+  std::string label;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    label = label_;
+  }
+
+  if (final_line) {
+    std::fprintf(out_,
+                 "[progress] done: %zu/%zu points | %" PRIu64 " trials | %" PRIu64
+                 " errors | %.1fs (%s trials/s)\n",
+                 done, total, trials, errors,
+                 elapsed, humanize(elapsed > 0 ? static_cast<double>(trials) / elapsed : 0).c_str());
+    std::fflush(out_);
+    return;
+  }
+
+  // Windowed throughput: trials since the previous heartbeat.
+  const double window = std::chrono::duration<double>(now - last_tick_).count();
+  const double rate =
+      window > 0 ? static_cast<double>(trials - last_trials_) / window : 0.0;
+  last_trials_ = trials;
+  last_tick_ = now;
+
+  char eta[32];
+  if (done >= 1 && done < total) {
+    std::snprintf(eta, sizeof eta, "%.0fs", elapsed / static_cast<double>(done) *
+                                                static_cast<double>(total - done));
+  } else {
+    std::snprintf(eta, sizeof eta, "--");
+  }
+
+  std::fprintf(out_,
+               "[progress] %zu/%zu points | %" PRIu64 " trials (%s/s) | %" PRIu64
+               " errors | elapsed %.1fs | eta %s | %s\n",
+               done, total, trials, humanize(rate).c_str(), errors, elapsed, eta,
+               label.c_str());
+  std::fflush(out_);
+}
+
+}  // namespace uwb::obs

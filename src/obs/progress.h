@@ -1,0 +1,78 @@
+#pragma once
+/// \file progress.h
+/// \brief Live sweep progress on stderr: a heartbeat thread that prints
+///        points done/total, trial throughput, error counts, and an ETA at
+///        a fixed interval while the engine runs.
+///
+/// The meter is an observer: the engine feeds it atomic counter updates
+/// (executed trials, bits, errors, point boundaries) and it renders them on
+/// its own thread, so enabling progress cannot change results or trial
+/// scheduling. Trial counts are *executed* trials -- the parallel engine
+/// runs a bounded window of speculative trials past the stop frontier, so
+/// the live count may briefly exceed the committed count in the result
+/// file; the final summary reports both honestly.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace uwb::obs {
+
+struct ProgressOptions {
+  std::FILE* out = nullptr;  ///< null = stderr
+  double interval_s = 1.0;   ///< heartbeat interval
+};
+
+class ProgressMeter {
+ public:
+  using Options = ProgressOptions;
+
+  explicit ProgressMeter(Options options = {});
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  // Engine hooks; all thread-safe.
+  void begin_run(std::size_t total_points);
+  void begin_point(std::size_t index, const std::string& label);
+  void add_trials(std::uint64_t n) { trials_.fetch_add(n, std::memory_order_relaxed); }
+  void add_bits(std::uint64_t n) { bits_.fetch_add(n, std::memory_order_relaxed); }
+  void add_errors(std::uint64_t n) { errors_.fetch_add(n, std::memory_order_relaxed); }
+  void end_point() { points_done_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Stops the heartbeat and prints the final summary line.
+  void end_run();
+
+ private:
+  void heartbeat_loop();
+  void print_line(bool final_line);
+
+  Options options_;
+  std::FILE* out_ = nullptr;
+
+  std::atomic<std::size_t> points_total_{0};
+  std::atomic<std::size_t> points_done_{0};
+  std::atomic<std::uint64_t> trials_{0};
+  std::atomic<std::uint64_t> bits_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  std::mutex mutex_;  ///< protects label_, stop_, and the cv
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::string label_;
+
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t last_trials_ = 0;  ///< heartbeat-thread only: windowed rate
+  std::chrono::steady_clock::time_point last_tick_;
+
+  std::thread thread_;
+};
+
+}  // namespace uwb::obs

@@ -41,6 +41,9 @@
 #include "io/cir_io.h"
 #include "io/result_io.h"
 #include "io/spec_io.h"
+#include "obs/manifest.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -81,10 +84,21 @@ int usage(std::FILE* out) {
                "  --channel-cache D  binary store directory consulted before\n"
                "                     generating (default for precompute:\n"
                "                     bench/results/channels)\n"
-               "  --out PATH         write results to PATH (.json or .csv)\n"
+               "  --out PATH         write results to PATH (.json or .csv); a run\n"
+               "                     manifest sidecar lands at PATH.run.json\n"
                "  --dump-scenario P  serialize the expanded scenario spec to P and,\n"
                "                     unless --out is also given, exit without sweeping\n"
-               "  --quiet            no console table\n");
+               "  --trace PATH       record spans/counters from the engine, pool, and\n"
+               "                     channel cache into a Chrome trace-event JSON at\n"
+               "                     PATH (open in Perfetto); results are unchanged\n"
+               "  --progress         live progress heartbeat on stderr (points done,\n"
+               "                     trials/sec, errors, ETA)\n"
+               "  --progress-interval SEC\n"
+               "                     heartbeat interval (default 1.0; needs --progress)\n"
+               "  --quiet            no console table, no end-of-run counter summary\n"
+               "\n"
+               "All diagnostics, progress, and summaries go to stderr; stdout carries\n"
+               "only results (the console table, --list, and subcommand reports).\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -93,12 +107,15 @@ struct Args {
   bool quiet = false;
   bool fast = false;
   bool precompute = false;
+  bool progress = false;
+  double progress_interval_s = 1.0;
   std::string scenario;
   std::string spec_file;
   std::vector<std::string> merge_inputs;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::string out_path;
   std::string dump_scenario_path;
+  std::string trace_path;
   std::size_t channel_ensemble = 0;  ///< 0 = leave the spec's channel sources alone
   std::optional<std::uint64_t> channel_seed;
   std::string channel_cache_dir;
@@ -114,6 +131,16 @@ std::uint64_t parse_u64(const std::string& text, const char* what) {
                       end == text.c_str() + text.size() && errno != ERANGE,
                   std::string("bad value for ") + what + ": '" + text + "'");
   return static_cast<std::uint64_t>(v);
+}
+
+double parse_positive_double(const std::string& text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  detail::require(!text.empty() && end == text.c_str() + text.size() && errno != ERANGE &&
+                      v > 0.0,
+                  std::string("bad value for ") + what + ": '" + text + "'");
+  return v;
 }
 
 void parse_shard(const std::string& text, engine::SweepConfig& sweep) {
@@ -157,6 +184,11 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--stop-metric") args.sweep.stop.metric = next(i, "--stop-metric");
     else if (arg == "--out") args.out_path = next(i, "--out");
     else if (arg == "--dump-scenario") args.dump_scenario_path = next(i, "--dump-scenario");
+    else if (arg == "--trace") args.trace_path = next(i, "--trace");
+    else if (arg == "--progress") args.progress = true;
+    else if (arg == "--progress-interval")
+      args.progress_interval_s =
+          parse_positive_double(next(i, "--progress-interval"), "--progress-interval");
     else if (arg == "--channel-ensemble") {
       args.channel_ensemble = parse_u64(next(i, "--channel-ensemble"), "--channel-ensemble");
       detail::require(args.channel_ensemble >= 1, "--channel-ensemble needs N >= 1");
@@ -188,6 +220,26 @@ Args parse_args(int argc, char** argv) {
   detail::require(!args.channel_seed.has_value() || args.channel_ensemble >= 1,
                   "--channel-seed needs --channel-ensemble");
   return args;
+}
+
+/// Human summary of a run's counters -- the ChannelCache/fft-plan/pool
+/// numbers that were previously collected and dropped on the floor.
+/// Printed to stderr so result piping stays clean.
+void print_counter_summary(const obs::RunCounters& counters) {
+  std::fprintf(stderr,
+               "channel cache: %llu hits, %llu disk loads, %llu generated "
+               "(%llu S-V draws) | fft plans: %llu hits, %llu built | "
+               "pool: %zu workers, %llu tasks (%llu stolen), idle %.2fs | wall %.2fs\n",
+               static_cast<unsigned long long>(counters.cache_hits),
+               static_cast<unsigned long long>(counters.cache_disk_loads),
+               static_cast<unsigned long long>(counters.cache_generated),
+               static_cast<unsigned long long>(counters.cache_sv_draws),
+               static_cast<unsigned long long>(counters.fft_plan_hits),
+               static_cast<unsigned long long>(counters.fft_plan_misses),
+               counters.pool.size(),
+               static_cast<unsigned long long>(counters.pool_executed()),
+               static_cast<unsigned long long>(counters.pool_stolen()),
+               static_cast<double>(counters.pool_idle_us()) / 1e6, counters.wall_s);
 }
 
 /// Loads (--file) or expands (registry) the scenario, applies axis
@@ -249,10 +301,10 @@ int run_precompute(const Args& args) {
     const engine::ChannelEnsemble ensemble =
         engine::make_ensemble(params, source.ensemble_seed, source.ensemble_count);
     const std::string stem = io::save_ensemble(ensemble, dir);
-    std::printf("%s: %zu realizations -> %s.{cir,json}\n", params.name.c_str(),
-                ensemble.realizations.size(), stem.c_str());
+    std::fprintf(stderr, "%s: %zu realizations -> %s.{cir,json}\n", params.name.c_str(),
+                 ensemble.realizations.size(), stem.c_str());
   }
-  std::printf("%zu ensemble(s) -> %s\n", groups.size(), dir.c_str());
+  std::fprintf(stderr, "%zu ensemble(s) -> %s\n", groups.size(), dir.c_str());
   return 0;
 }
 
@@ -283,8 +335,8 @@ int run_merge(const Args& args) {
   detail::require(out.good(), "cannot open '" + args.out_path + "' for writing");
   out << io::write_result_json(merged);
   detail::require(out.good(), "write to '" + args.out_path + "' failed");
-  std::printf("merged %zu shards (%zu points) -> %s\n", shards.size(),
-              merged.points.size(), args.out_path.c_str());
+  std::fprintf(stderr, "merged %zu shards (%zu points) -> %s\n", shards.size(),
+               merged.points.size(), args.out_path.c_str());
   return 0;
 }
 
@@ -293,8 +345,8 @@ int run_sweep(const Args& args) {
 
   if (!args.dump_scenario_path.empty()) {
     io::save_scenario_file(scenario, args.dump_scenario_path);
-    std::printf("scenario spec (%zu points) -> %s\n", scenario.points.size(),
-                args.dump_scenario_path.c_str());
+    std::fprintf(stderr, "scenario spec (%zu points) -> %s\n", scenario.points.size(),
+                 args.dump_scenario_path.c_str());
     // Dump-only unless the caller also asked for results: the dump-then-
     // edit workflow must not spend minutes sweeping just to get a file.
     if (args.out_path.empty()) return 0;
@@ -325,11 +377,58 @@ int run_sweep(const Args& args) {
   engine::SweepConfig sweep_config = args.sweep;
   sweep_config.channel_cache = &cache;
 
+  // Telemetry is strictly observational: the result JSON/CSV bytes are
+  // identical with tracing and progress on or off (tested + CI cmp).
+  std::optional<obs::TraceRecorder> trace;
+  if (!args.trace_path.empty()) trace.emplace();
+  std::optional<obs::ProgressMeter> progress;
+  if (args.progress) {
+    obs::ProgressOptions options;
+    options.interval_s = args.progress_interval_s;
+    progress.emplace(options);
+  }
+  sweep_config.trace = trace.has_value() ? &*trace : nullptr;
+  sweep_config.progress = progress.has_value() ? &*progress : nullptr;
+
   engine::SweepEngine engine(sweep_config);
   const engine::SweepResult result = engine.run(scenario, sinks);
-  if (!args.out_path.empty()) {
-    std::printf("%zu points -> %s\n", result.records.size(), args.out_path.c_str());
+
+  if (trace.has_value()) {
+    obs::write_chrome_trace(*trace, args.trace_path);
+    std::fprintf(stderr, "trace: %zu events -> %s\n", trace->event_count(),
+                 args.trace_path.c_str());
   }
+  if (!args.out_path.empty()) {
+    // The run-manifest sidecar carries everything deliberately left out of
+    // the deterministic result file: resolved workers, per-point wall
+    // time, counter totals, build flags.
+    obs::RunManifest manifest;
+    manifest.scenario = scenario.name;
+    manifest.seed = sweep_config.seed;
+    manifest.workers = result.counters.pool.size();
+    manifest.shard_index = sweep_config.shard_index;
+    manifest.shard_count = sweep_config.shard_count;
+    manifest.stop = sweep_config.stop;
+    manifest.result_path = args.out_path;
+    manifest.trace_path = args.trace_path;
+    manifest.build = obs::current_build_info();
+    manifest.counters = result.counters;
+    for (const engine::PointRecord& record : result.records) {
+      obs::PointTiming timing;
+      timing.index = record.index;
+      timing.label = record.spec.label;
+      timing.elapsed_s = record.elapsed_s;
+      timing.trials = record.ber.trials;
+      timing.bits = record.ber.bits;
+      timing.errors = record.ber.errors;
+      manifest.points.push_back(std::move(timing));
+    }
+    const std::string manifest_path = obs::manifest_path_for(args.out_path);
+    obs::write_run_manifest(manifest, manifest_path);
+    std::fprintf(stderr, "%zu points -> %s (manifest: %s)\n", result.records.size(),
+                 args.out_path.c_str(), manifest_path.c_str());
+  }
+  if (!args.quiet) print_counter_summary(result.counters);
   return 0;
 }
 
