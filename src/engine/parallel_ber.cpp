@@ -97,6 +97,14 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
         std::size_t index;
         {
           std::unique_lock<std::mutex> lock(shared.mutex);
+          if (hooks.cancelled() && !shared.stopped) {
+            // Cancellation rides the normal stop path so peers waiting on
+            // the speculation window wake up and exit too. (A signal
+            // handler can only set the flag, never notify; the first
+            // worker to reach this check does the notifying.)
+            shared.stopped = true;
+            shared.window_open.notify_all();
+          }
           if (shared.stopped || shared.next_claim >= stop.max_trials) break;
           index = shared.next_claim++;
           // Speculation bound: wait until this index is near the frontier.

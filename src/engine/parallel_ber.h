@@ -12,6 +12,7 @@
 /// BER counters and every named-metric reduction -- is byte-identical for
 /// any worker count or scheduling order (see engine/metric_accumulator.h).
 
+#include <atomic>
 #include <functional>
 
 #include "common/rng.h"
@@ -55,6 +56,18 @@ sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop
 struct PointHooks {
   obs::TraceRecorder* trace = nullptr;
   obs::ProgressMeter* progress = nullptr;
+
+  /// Cooperative cancellation (e.g. set from a SIGINT handler): workers
+  /// check it at the top of their claim loop and wind the point down
+  /// early. A cancelled measurement is truncated, NOT deterministic -- the
+  /// caller must discard it (the sweep engine drops the in-flight point so
+  /// a flushed partial document stays an exact prefix of completed
+  /// points). Null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
 };
 
 /// Parallel version of measure_point_serial with identical results:

@@ -401,6 +401,30 @@ void register_builtins(ScenarioRegistry& registry) {
         }());
     return builder.build();
   });
+
+  registry.add("gen2_pulse_shape", [] {
+    // E1's link-level half: does the Fig. 4 pulse choice (RRC vs Gaussian
+    // envelope, same 500 MHz bandwidth) cost BER on AWGN? Spectral
+    // observables stay in bench_fig4_pulse; this grid is the engine-run
+    // companion.
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.cm = 0;
+    Gen2ScenarioBuilder builder("gen2_pulse_shape", sim::gen2_fast(), options);
+    builder
+        .description("gen-2 100 Mbps link on AWGN: RRC (Fig. 4) vs Gaussian pulse envelope")
+        .axis("pulse",
+              {{"rrc",
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                  c.pulse.shape = pulse::PulseShape::kRootRaisedCos;
+                }},
+               {"gaussian",
+                [](txrx::Gen2Config& c, txrx::TrialOptions&) {
+                  c.pulse.shape = pulse::PulseShape::kGaussian;
+                }}})
+        .ebn0_grid({4.0, 6.0, 8.0, 10.0});
+    return builder.build();
+  });
 }
 
 }  // namespace

@@ -144,7 +144,7 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
   }
 
   const Rng sweep_root(config_.seed);
-  const PointHooks hooks{config_.trace, config_.progress};
+  const PointHooks hooks{config_.trace, config_.progress, config_.cancel};
   std::uint64_t traced_trials = 0;
   std::uint64_t traced_errors = 0;
 
@@ -154,6 +154,10 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
   // including under sharding, which only skips points and never re-indexes.
   for (std::size_t p = 0; p < scenario.points.size(); ++p) {
     if (p % config_.shard_count != config_.shard_index) continue;
+    if (hooks.cancelled()) {
+      result.interrupted = true;
+      break;
+    }
     const PointSpec& spec = scenario.points[p];
     const Rng point_root = sweep_root.fork(p);
     const Rng trial_root = point_root.fork(kTrialStreamSalt);
@@ -183,6 +187,17 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
         make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
         pool, hooks);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    if (hooks.cancelled()) {
+      // A cancelled measurement is truncated, not deterministic: discard
+      // it (even if the cancel raced the point's natural completion -- the
+      // cheap uniform policy keeps the flushed document an exact prefix of
+      // completed points either way).
+      if (config_.progress != nullptr) config_.progress->end_point();
+      point_span.finish();
+      result.interrupted = true;
+      break;
+    }
 
     point_span.arg("trials", static_cast<std::uint64_t>(measured.ber.trials));
     point_span.arg("bits", static_cast<std::uint64_t>(measured.ber.bits));

@@ -24,6 +24,7 @@
 /// for those points. Merging the shards' records (sorted by index)
 /// reproduces the unsharded sweep byte for byte -- see io/result_io.h.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -66,6 +67,14 @@ struct SweepConfig {
   /// Results are byte-identical with either enabled or disabled (tested).
   obs::TraceRecorder* trace = nullptr;
   obs::ProgressMeter* progress = nullptr;
+
+  /// Cooperative cancellation (set from a SIGINT/SIGTERM handler): checked
+  /// between points and inside the trial loop. The in-flight point is
+  /// discarded -- a truncated point would not be deterministic -- so the
+  /// records delivered to sinks are exactly the completed-point prefix of
+  /// the plan, each byte-identical to an uninterrupted run's. Null = never
+  /// cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// A completed sweep: the metadata plus every measured point's record in
@@ -73,6 +82,12 @@ struct SweepConfig {
 struct SweepResult {
   SweepInfo info;
   std::vector<PointRecord> records;
+
+  /// True when config.cancel fired: records hold the completed-point
+  /// prefix only and the sweep ended early. The caller decides what a
+  /// partial run means (uwb_sweep flushes it and exits with the
+  /// interrupted code).
+  bool interrupted = false;
 
   /// Operational counters for this run (always filled; never serialized
   /// into the result document -- see obs/manifest.h for the sidecar):

@@ -1,0 +1,35 @@
+#pragma once
+/// \file exit_codes.h
+/// \brief The worker exit-code contract between uwb_sweep and uwb_farm.
+///
+/// The farm supervises uwb_sweep shard processes and must tell a failure
+/// that will heal on retry (a crash, an interrupted run, a flaky runtime
+/// error) from one that will reproduce forever (bad arguments, a broken
+/// spec file). That classification keys on these exit codes, so they are a
+/// contract: uwb_sweep promises them, docs/cli.md documents them, and the
+/// farm's retry policy (src/farm/runner.h) consumes them. Death by signal
+/// is reported by the OS, not an exit code, and always counts as transient.
+
+namespace uwb::farm {
+
+/// Clean completion; the result file is complete and valid.
+inline constexpr int kExitOk = 0;
+
+/// A runtime failure mid-run (an exception after the spec loaded cleanly).
+/// Transient from the farm's point of view: worth a bounded retry.
+inline constexpr int kExitRuntime = 1;
+
+/// Bad command-line arguments (unknown flag, malformed value, usage).
+/// Permanent: the same argv will fail the same way every time.
+inline constexpr int kExitBadArgs = 2;
+
+/// The scenario spec failed to load or validate (missing file, malformed
+/// JSON, unknown key, unsupported option). Permanent.
+inline constexpr int kExitSpecLoad = 3;
+
+/// SIGINT/SIGTERM arrived mid-sweep: a *valid partial* result document and
+/// its run manifest were flushed before exiting. Transient: a retry reruns
+/// the shard from scratch and overwrites the partial file.
+inline constexpr int kExitInterrupted = 4;
+
+}  // namespace uwb::farm

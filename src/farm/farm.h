@@ -1,0 +1,97 @@
+#pragma once
+/// \file farm.h
+/// \brief The sweep-farm orchestrator: checkpointed fan-out of
+///        `uwb_sweep --shard i/N` worker processes with bounded retry and
+///        validated resume.
+///
+/// The invariants this module maintains (docs/farm.md spells them out):
+///
+///  * The merged output of a farm run is byte-identical to the same sweep
+///    run unsharded and uninterrupted -- crashes, retries, and resumes can
+///    change only *whether* a shard result exists, never its bytes,
+///    because every worker is a pure function of (scenario.json, seed,
+///    stop, shard index).
+///  * A shard is journaled `done` only after its result document parsed
+///    and validated against the plan. Resume re-validates every done
+///    shard, so tampered or truncated checkpoints fail loudly instead of
+///    poisoning a merge.
+///  * Every journal write is atomic (tmp + rename): killing the farm
+///    itself at any instant leaves a loadable state.json.
+
+#include <cstddef>
+#include <string>
+
+#include "engine/scenario_registry.h"
+#include "farm/farm_state.h"
+#include "farm/runner.h"
+
+namespace uwb::farm {
+
+/// Creates a run directory: scenario.json (the expanded plan every worker
+/// loads), farm.json (the spec), and a fresh all-pending state.json whose
+/// plan_digest pins scenario.json's bytes. \p spec.num_points is filled in
+/// from the plan. \throws InvalidArgument if the directory already holds a
+/// farm.json (refuse to clobber a checkpointed run).
+void init_run(const engine::ScenarioSpec& scenario, FarmSpec& spec,
+              const RunPaths& paths);
+
+struct LoadedRun {
+  FarmSpec spec;
+  FarmState state;
+};
+
+/// Loads a run directory for resume: farm.json + state.json (both version
+/// checked), re-digests scenario.json against state.plan_digest, and
+/// re-validates the result document of every shard journaled `done` --
+/// a shard whose checkpoint went missing or was tampered with since the
+/// last run fails the load with a pointed error. \throws InvalidArgument.
+[[nodiscard]] LoadedRun load_run(const RunPaths& paths);
+
+/// Validates shard \p shard's result document at \p path against the
+/// spec: header (scenario, seed, stop) must match and the point indices
+/// must be exactly { p : p mod shard_count == shard, p < num_points }.
+/// \throws InvalidArgument with the offending detail.
+void validate_shard_result(const FarmSpec& spec, std::size_t shard,
+                           const std::string& path);
+
+/// How a supervision pass ended.
+struct FarmRunReport {
+  std::size_t done = 0;    ///< shards with validated results
+  std::size_t failed = 0;  ///< shards exhausted (or permanently failed)
+
+  [[nodiscard]] bool complete() const noexcept { return failed == 0; }
+};
+
+/// Runs every non-done shard through \p transport with the spec's retry
+/// policy: per-attempt timeout, exit/signal classification (permanent
+/// failures stop retrying early), exponential backoff with deterministic
+/// jitter between attempts. state.json is rewritten atomically after every
+/// transition, so a killed farm resumes from exactly what had finished.
+/// \p worker_binary is the uwb_sweep executable; \p max_parallel caps
+/// concurrently live workers (0 = all shards at once).
+FarmRunReport run_shards(const FarmSpec& spec, FarmState& state,
+                         const RunPaths& paths, ExecTransport& transport,
+                         const std::string& worker_binary,
+                         std::size_t max_parallel = 0, bool quiet = false);
+
+/// Merges the done shards' result documents into \p out_path.
+/// All shards done: a complete merge, byte-identical to the unsharded
+/// run's file. Some failed and \p allow_partial: merges what exists with
+/// the coverage check relaxed. Some failed otherwise: throws.
+void merge_run(const FarmSpec& spec, const FarmState& state, const RunPaths& paths,
+               const std::string& out_path, bool allow_partial = false);
+
+/// Writes <run_dir>/manifest.json: run status ("complete" or "partial"),
+/// shard accounting (attempts, outcomes, wall clock, trials) -- the
+/// observational record deliberately kept out of the deterministic result
+/// documents.
+void write_farm_manifest(const FarmSpec& spec, const FarmState& state,
+                         const RunPaths& paths);
+
+/// The worker argv for one attempt of \p shard (exposed for tests).
+[[nodiscard]] std::vector<std::string> worker_argv(const FarmSpec& spec,
+                                                   const RunPaths& paths,
+                                                   const std::string& worker_binary,
+                                                   std::size_t shard);
+
+}  // namespace uwb::farm

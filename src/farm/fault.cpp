@@ -1,0 +1,143 @@
+#include "farm/fault.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace uwb::farm {
+
+namespace {
+
+FaultKind kind_from_name(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "hang") return FaultKind::kHang;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  throw InvalidArgument("fault plan: unknown fault kind '" + name + "'");
+}
+
+std::size_t parse_shard_index(std::string text) {
+  if (text.rfind("shard", 0) == 0) text = text.substr(5);
+  detail::require(!text.empty() &&
+                      text.find_first_not_of("0123456789") == std::string::npos,
+                  "fault plan: bad shard index '" + text + "'");
+  return static_cast<std::size_t>(std::stoull(text));
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::vector<FaultSpec> parse_fault_plan(const std::string& text) {
+  std::vector<FaultSpec> plan;
+  std::string::size_type start = 0;
+  while (start < text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    std::string entry = text.substr(start, end - start);
+    detail::require(!entry.empty(), "fault plan: empty entry in '" + text + "'");
+
+    FaultSpec fault;
+    const auto at = entry.find('@');
+    if (at != std::string::npos) {
+      const std::string times = entry.substr(at + 1);
+      detail::require(!times.empty() &&
+                          times.find_first_not_of("0123456789") == std::string::npos,
+                      "fault plan: bad repeat count in '" + entry + "'");
+      fault.times = std::stol(times);
+      detail::require(fault.times >= 1, "fault plan: repeat count must be >= 1 in '" +
+                                            entry + "'");
+      entry = entry.substr(0, at);
+    }
+    const auto colon = entry.find(':');
+    detail::require(colon != std::string::npos,
+                    "fault plan: expected <kind>:<shard>, got '" + entry + "'");
+    fault.kind = kind_from_name(entry.substr(0, colon));
+    fault.shard = parse_shard_index(entry.substr(colon + 1));
+    plan.push_back(fault);
+
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  detail::require(!plan.empty(), "fault plan: '" + text + "' names no faults");
+  return plan;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> plan, std::size_t shard_index,
+                             std::string marker_dir)
+    : shard_(shard_index), marker_dir_(std::move(marker_dir)) {
+  for (FaultSpec& fault : plan) {
+    if (fault.shard != shard_index) continue;
+    detail::require(fault.times < 0 || !marker_dir_.empty(),
+                    "fault plan: @times needs " + std::string(kFaultDirEnv) +
+                        " (marker directory for cross-process firing counts)");
+    plan_.push_back(fault);
+  }
+}
+
+FaultInjector FaultInjector::from_env(std::size_t shard_index) {
+  const char* text = std::getenv(kFaultEnv);
+  if (text == nullptr || *text == '\0') return {};
+  const char* dir = std::getenv(kFaultDirEnv);
+  return FaultInjector(parse_fault_plan(text), shard_index,
+                       dir == nullptr ? std::string() : std::string(dir));
+}
+
+bool FaultInjector::claim_firing(const FaultSpec& fault) {
+  if (fault.times < 0) return true;
+  // One marker file per allowed firing, claimed atomically (O_EXCL) so
+  // concurrent attempts of the same shard can never over-fire.
+  for (long k = 0; k < fault.times; ++k) {
+    const std::string marker = marker_dir_ + "/.fault_" + to_string(fault.kind) + "_" +
+                               std::to_string(fault.shard) + "_" + std::to_string(k);
+    const int fd = ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::fire(const std::string& out_path) {
+  for (const FaultSpec& fault : plan_) {
+    if (!claim_firing(fault)) continue;
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        // Die the way a killed worker dies: no flush, no handlers, no exit
+        // code -- the supervisor sees death by SIGKILL.
+        std::raise(SIGKILL);
+        break;
+      case FaultKind::kHang:
+        for (;;) ::pause();  // until the farm's timeout SIGKILLs us
+        break;
+      case FaultKind::kCorrupt: {
+        const std::filesystem::path p(out_path);
+        if (p.has_parent_path()) {
+          std::error_code ec;
+          std::filesystem::create_directories(p.parent_path(), ec);
+        }
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        out << "{\"scenario\": \"truncated mid-wri";
+        out.close();
+        // "Success" with a corrupt result: the farm's validation must catch it.
+        ::_exit(0);
+      }
+    }
+  }
+}
+
+}  // namespace uwb::farm

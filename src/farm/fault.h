@@ -1,0 +1,95 @@
+#pragma once
+/// \file fault.h
+/// \brief Deterministic fault injection for the worker path (test-only).
+///
+/// Kill/hang/corrupt failure modes of a sweep farm are impossible to test
+/// honestly by waiting for real crashes, so the worker (uwb_sweep) carries
+/// an environment hook that makes them reproducible on demand:
+///
+///   UWB_FARM_FAULT=crash:shard3,hang:shard5,corrupt:shard2
+///
+/// Each entry is `<kind>:<shard>[@<times>]`; `shardN` and bare `N` both
+/// name shard index N (the worker's --shard i/N index; an unsharded run is
+/// shard 0). Kinds:
+///
+///   crash    raise(SIGKILL) before any work: the process dies exactly the
+///            way an OOM kill or power loss would, leaving no result file.
+///   hang     sleep forever: exercises the farm's per-shard timeout, which
+///            SIGKILLs the worker.
+///   corrupt  write garbage over the --out path and exit 0: a worker that
+///            *claims* success with a corrupt checkpoint, exercising the
+///            farm's result validation.
+///
+/// `@<times>` limits a fault to the first <times> firings, counted across
+/// processes through marker files in $UWB_FARM_FAULT_DIR (required for @):
+/// `crash:shard3@1` kills the first attempt and lets the retry through --
+/// the deterministic "worker died once, farm recovered" scenario the
+/// kill-and-resume tests and CI are built on. Without @ the fault always
+/// fires. Unset environment means zero overhead: the injector is inert.
+///
+/// This hook is for tests and CI only; docs/farm.md documents it with that
+/// warning.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uwb::farm {
+
+/// Environment variables the worker-side hook reads.
+inline constexpr const char* kFaultEnv = "UWB_FARM_FAULT";
+inline constexpr const char* kFaultDirEnv = "UWB_FARM_FAULT_DIR";
+
+enum class FaultKind { kCrash, kHang, kCorrupt };
+
+/// Human-readable kind name ("crash" / "hang" / "corrupt").
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// One parsed fault entry.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  std::size_t shard = 0;
+  long times = -1;  ///< -1 = always fire; >= 1 = first N firings only
+
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
+};
+
+/// Parses a UWB_FARM_FAULT value. \throws InvalidArgument on malformed
+/// input (unknown kind, bad shard, times < 1) -- a typo'd fault plan must
+/// not silently run fault-free.
+[[nodiscard]] std::vector<FaultSpec> parse_fault_plan(const std::string& text);
+
+/// The worker-side injector: built once from the environment, fired at the
+/// start of a sweep run. Inert (and free) when UWB_FARM_FAULT is unset.
+class FaultInjector {
+ public:
+  /// Inert injector.
+  FaultInjector() = default;
+
+  FaultInjector(std::vector<FaultSpec> plan, std::size_t shard_index,
+                std::string marker_dir);
+
+  /// Reads UWB_FARM_FAULT / UWB_FARM_FAULT_DIR for shard \p shard_index.
+  /// \throws InvalidArgument on a malformed plan, or on a @times entry
+  ///         without UWB_FARM_FAULT_DIR.
+  [[nodiscard]] static FaultInjector from_env(std::size_t shard_index);
+
+  /// True when some fault targets this worker's shard.
+  [[nodiscard]] bool armed() const noexcept { return !plan_.empty(); }
+
+  /// Fires the first still-live fault for this shard, if any: crash and
+  /// hang never return; corrupt writes garbage to \p out_path and calls
+  /// _exit(0). Returns normally when no fault (still) applies.
+  void fire(const std::string& out_path);
+
+ private:
+  /// Claims one firing of a limited fault through marker files; always
+  /// true for unlimited faults.
+  [[nodiscard]] bool claim_firing(const FaultSpec& fault);
+
+  std::vector<FaultSpec> plan_;  ///< entries for this shard only
+  std::size_t shard_ = 0;
+  std::string marker_dir_;
+};
+
+}  // namespace uwb::farm

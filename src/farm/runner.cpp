@@ -1,0 +1,142 @@
+#include "farm/runner.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace uwb::farm {
+
+std::string ExitStatus::describe() const {
+  switch (kind) {
+    case Kind::kExited:
+      return code == kExitOk ? "ok" : "exit " + std::to_string(code);
+    case Kind::kSignaled:
+      return "signal " + std::to_string(sig);
+    case Kind::kTimeout:
+      return "timeout";
+    case Kind::kSpawnError:
+      return "spawn: " + detail;
+  }
+  return "?";
+}
+
+bool is_transient(const ExitStatus& status) {
+  switch (status.kind) {
+    case ExitStatus::Kind::kSignaled:
+    case ExitStatus::Kind::kTimeout:
+    case ExitStatus::Kind::kSpawnError:
+      return true;
+    case ExitStatus::Kind::kExited:
+      break;
+  }
+  // The worker's documented exit-code contract: bad arguments and
+  // spec-load failures will fail the same way every time.
+  return status.code != kExitBadArgs && status.code != kExitSpecLoad;
+}
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ExitStatus LocalExecTransport::run(const std::vector<std::string>& argv,
+                                   const std::vector<EnvVar>& env,
+                                   const std::string& log_path,
+                                   double timeout_s) {
+  ExitStatus status;
+  if (argv.empty()) {
+    status.kind = ExitStatus::Kind::kSpawnError;
+    status.detail = "empty argv";
+    return status;
+  }
+
+  {
+    const std::filesystem::path p(log_path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+  }
+  const int log_fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    status.kind = ExitStatus::Kind::kSpawnError;
+    status.detail = "open '" + log_path + "': " + std::strerror(errno);
+    return status;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    status.kind = ExitStatus::Kind::kSpawnError;
+    status.detail = std::string("fork: ") + std::strerror(errno);
+    ::close(log_fd);
+    return status;
+  }
+
+  if (pid == 0) {
+    // Child: wire logs, apply env overrides, exec.
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    ::close(log_fd);
+    for (const auto& [name, value] : env) {
+      ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    // Only reached when exec failed; the farm classifies 127 as transient,
+    // which is right for "binary on NFS briefly missing" style failures.
+    ::dprintf(STDERR_FILENO, "exec %s: %s\n", cargv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(log_fd);
+
+  // Parent: poll so a timeout can SIGKILL a wedged child.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  bool timed_out = false;
+  for (;;) {
+    int wstatus = 0;
+    const pid_t done = ::waitpid(pid, &wstatus, WNOHANG);
+    if (done == pid) {
+      if (timed_out) {
+        status.kind = ExitStatus::Kind::kTimeout;
+      } else if (WIFEXITED(wstatus)) {
+        status.kind = ExitStatus::Kind::kExited;
+        status.code = WEXITSTATUS(wstatus);
+      } else if (WIFSIGNALED(wstatus)) {
+        status.kind = ExitStatus::Kind::kSignaled;
+        status.sig = WTERMSIG(wstatus);
+      }
+      return status;
+    }
+    if (done < 0) {
+      status.kind = ExitStatus::Kind::kSpawnError;
+      status.detail = std::string("waitpid: ") + std::strerror(errno);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return status;
+    }
+    if (!timed_out && timeout_s > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      ::kill(pid, SIGKILL);
+      // Keep polling: the next waitpid reaps it and we report kTimeout.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace uwb::farm

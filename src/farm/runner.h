@@ -1,0 +1,82 @@
+#pragma once
+/// \file runner.h
+/// \brief The farm's supervised shard runner: a pluggable exec transport
+///        plus the policy that decides whether a dead worker is worth
+///        retrying.
+///
+/// The transport boundary is deliberately small -- "run this argv, stream
+/// its output to this log file, kill it after timeout_s, tell me how it
+/// died" -- so the local fork/exec transport can later be joined by an
+/// ssh/slurm one without touching the orchestration or checkpoint logic.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "farm/exit_codes.h"
+
+namespace uwb::farm {
+
+/// How one worker attempt ended.
+struct ExitStatus {
+  enum class Kind {
+    kExited,    ///< normal exit; `code` holds the exit code
+    kSignaled,  ///< killed by a signal; `sig` holds the signal number
+    kTimeout,   ///< exceeded timeout_s; the supervisor SIGKILLed it
+    kSpawnError ///< fork/exec itself failed; `detail` explains
+  };
+
+  Kind kind = Kind::kExited;
+  int code = 0;
+  int sig = 0;
+  std::string detail;  ///< spawn-error text, empty otherwise
+
+  [[nodiscard]] bool ok() const noexcept {
+    return kind == Kind::kExited && code == kExitOk;
+  }
+
+  /// Short journal text: "ok", "exit 3", "signal 9", "timeout", "spawn: ...".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Is a failed attempt worth retrying?
+///
+/// Permanent failures are the ones a retry cannot fix: bad arguments and
+/// spec-load errors (the worker's documented exit codes 2 and 3). Deaths by
+/// signal, timeouts, interrupted runs, and generic runtime errors are
+/// transient -- the canonical farm failures (OOM kill, preemption, a
+/// wedged filesystem) all land there.
+[[nodiscard]] bool is_transient(const ExitStatus& status);
+
+/// One (name, value) environment override for a worker.
+using EnvVar = std::pair<std::string, std::string>;
+
+/// Executes worker processes. run() blocks until the child is gone.
+class ExecTransport {
+ public:
+  virtual ~ExecTransport() = default;
+
+  /// Runs \p argv with stdout+stderr appended to \p log_path and \p env
+  /// added to the inherited environment. Kills the child (SIGKILL) if it
+  /// outlives \p timeout_s (0 = no timeout). Never throws for child
+  /// failures -- they come back as the ExitStatus.
+  [[nodiscard]] virtual ExitStatus run(const std::vector<std::string>& argv,
+                                       const std::vector<EnvVar>& env,
+                                       const std::string& log_path,
+                                       double timeout_s) = 0;
+};
+
+/// fork/exec on the local machine.
+class LocalExecTransport final : public ExecTransport {
+ public:
+  [[nodiscard]] ExitStatus run(const std::vector<std::string>& argv,
+                               const std::vector<EnvVar>& env,
+                               const std::string& log_path,
+                               double timeout_s) override;
+};
+
+/// Sleeps for \p seconds (sub-second resolution); the backoff wait.
+void sleep_s(double seconds);
+
+}  // namespace uwb::farm

@@ -1,0 +1,250 @@
+#include "farm/verify.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.h"
+#include "farm/farm_state.h"
+
+namespace uwb::farm {
+
+namespace {
+
+double parse_literal(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  detail::require(end == text.c_str() + text.size() && !text.empty(),
+                  "verify: unparseable number '" + text + "' in " + what);
+  return v;
+}
+
+/// A point's value under a metric name ("ber"/"ci95"/counters/recorded
+/// metric mean). \throws InvalidArgument when the metric is absent.
+double point_value(const io::ResultPoint& point, const std::string& metric) {
+  if (metric == "ber") return parse_literal(point.ber, "ber");
+  if (metric == "ci95") return parse_literal(point.ci95, "ci95");
+  if (metric == "errors") return static_cast<double>(point.errors);
+  if (metric == "bits") return static_cast<double>(point.bits);
+  if (metric == "trials") return static_cast<double>(point.trials);
+  for (const io::ResultMetric& m : point.metrics) {
+    if (m.name == metric) return parse_literal(m.mean, "metric '" + metric + "' mean");
+  }
+  throw InvalidArgument("verify: point " + std::to_string(point.index) + " ('" +
+                        point.label + "') records no metric '" + metric + "'");
+}
+
+std::string tag_of(const io::ResultPoint& point, const std::string& key) {
+  for (const auto& [k, v] : point.tags) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+/// Points matching a `where` tag filter (all pairs must match).
+std::vector<const io::ResultPoint*> select(const io::ResultDoc& doc,
+                                           const io::JsonValue* where) {
+  std::vector<const io::ResultPoint*> out;
+  for (const io::ResultPoint& point : doc.points) {
+    bool match = true;
+    if (where != nullptr) {
+      for (const auto& [key, value] : where->members()) {
+        if (tag_of(point, key) != value.as_string()) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match) out.push_back(&point);
+  }
+  return out;
+}
+
+std::string describe_where(const io::JsonValue* where) {
+  if (where == nullptr || where->members().empty()) return "all points";
+  std::string out;
+  for (const auto& [key, value] : where->members()) {
+    if (!out.empty()) out += ", ";
+    out += key + "=" + value.as_string();
+  }
+  return out;
+}
+
+void check_range(const io::ResultDoc& doc, const io::JsonValue& check,
+                 VerifyReport& report) {
+  const std::string metric = check.at("metric").as_string();
+  const io::JsonValue* where = check.find("where");
+  const io::JsonValue* min = check.find("min");
+  const io::JsonValue* max = check.find("max");
+  detail::require(min != nullptr || max != nullptr,
+                  "verify: range check on '" + metric + "' has neither min nor max");
+  const auto points = select(doc, where);
+  if (points.empty()) {
+    report.failures.push_back("range '" + metric + "' (" + describe_where(where) +
+                              "): selects no points");
+    return;
+  }
+  for (const io::ResultPoint* point : points) {
+    const double v = point_value(*point, metric);
+    if (min != nullptr && v < min->as_double()) {
+      report.failures.push_back("range '" + metric + "': point " +
+                                std::to_string(point->index) + " ('" + point->label +
+                                "') has " + io::format_double(v) + " < min " +
+                                min->number_text());
+    }
+    if (max != nullptr && v > max->as_double()) {
+      report.failures.push_back("range '" + metric + "': point " +
+                                std::to_string(point->index) + " ('" + point->label +
+                                "') has " + io::format_double(v) + " > max " +
+                                max->number_text());
+    }
+  }
+}
+
+void check_monotone(const io::ResultDoc& doc, const io::JsonValue& check,
+                    VerifyReport& report) {
+  const std::string metric = check.at("metric").as_string();
+  const std::string axis = check.at("axis").as_string();
+  const std::string direction = check.at("direction").as_string();
+  detail::require(direction == "nonincreasing" || direction == "nondecreasing",
+                  "verify: monotone direction must be nonincreasing or "
+                  "nondecreasing, got '" + direction + "'");
+  const io::JsonValue* tolerance_v = check.find("tolerance");
+  const double tolerance = tolerance_v == nullptr ? 0.0 : tolerance_v->as_double();
+  const io::JsonValue* where = check.find("where");
+  const io::JsonValue* group_by = check.find("group_by");
+
+  // Group key = the group_by tag values joined; one group when absent.
+  std::map<std::string, std::vector<const io::ResultPoint*>> groups;
+  for (const io::ResultPoint* point : select(doc, where)) {
+    std::string key;
+    if (group_by != nullptr) {
+      for (const io::JsonValue& tag : group_by->items()) {
+        key += tag_of(*point, tag.as_string()) + "|";
+      }
+    }
+    groups[key].push_back(point);
+  }
+  if (groups.empty()) {
+    report.failures.push_back("monotone '" + metric + "' vs " + axis +
+                              ": selects no points");
+    return;
+  }
+  for (auto& [key, points] : groups) {
+    std::stable_sort(points.begin(), points.end(),
+                     [&](const io::ResultPoint* a, const io::ResultPoint* b) {
+                       return parse_literal(tag_of(*a, axis), "axis " + axis) <
+                              parse_literal(tag_of(*b, axis), "axis " + axis);
+                     });
+    if (points.size() < 2) {
+      report.failures.push_back("monotone '" + metric + "' vs " + axis + " (group " +
+                                (key.empty() ? "all" : key) +
+                                "): fewer than two points to compare");
+      continue;
+    }
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      const double prev = point_value(*points[i - 1], metric);
+      const double curr = point_value(*points[i], metric);
+      const bool bad = direction == "nonincreasing" ? curr > prev + tolerance
+                                                    : curr < prev - tolerance;
+      if (bad) {
+        report.failures.push_back(
+            "monotone '" + metric + "' vs " + axis + ": '" + points[i - 1]->label +
+            "' -> '" + points[i]->label + "' goes " + io::format_double(prev) +
+            " -> " + io::format_double(curr) + ", violating " + direction +
+            (tolerance > 0.0 ? " (tolerance " + io::format_double(tolerance) + ")"
+                             : ""));
+      }
+    }
+  }
+}
+
+void check_accounting(const io::ResultDoc& doc, const io::JsonValue& check,
+                      VerifyReport& report) {
+  const io::JsonValue* min_trials_v = check.find("min_trials");
+  const std::uint64_t min_trials =
+      min_trials_v == nullptr ? 1 : min_trials_v->as_uint64();
+  for (const io::ResultPoint& point : doc.points) {
+    const std::string at =
+        "accounting: point " + std::to_string(point.index) + " ('" + point.label + "')";
+    if (point.errors > point.bits) {
+      report.failures.push_back(at + " counts " + std::to_string(point.errors) +
+                                " errors in " + std::to_string(point.bits) + " bits");
+    }
+    if (point.trials < min_trials) {
+      report.failures.push_back(at + " ran " + std::to_string(point.trials) +
+                                " trials, expected >= " + std::to_string(min_trials));
+    }
+    if (doc.stop.max_trials > 0 && point.trials > doc.stop.max_trials) {
+      report.failures.push_back(at + " ran " + std::to_string(point.trials) +
+                                " trials, over the stop rule's max_trials " +
+                                std::to_string(doc.stop.max_trials));
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_result(const io::ResultDoc& doc,
+                           const io::JsonValue& expectations) {
+  const io::JsonValue* version = expectations.find("version");
+  detail::require(version != nullptr, "verify: expectations missing format version");
+  detail::require(version->as_int() == kExpectationsVersion,
+                  "verify: expectations version " + version->number_text() +
+                      " does not match this binary's version " +
+                      std::to_string(kExpectationsVersion));
+
+  VerifyReport report;
+  const io::JsonValue* checks = nullptr;
+  for (const auto& [key, value] : expectations.members()) {
+    if (key == "version") continue;
+    else if (key == "scenario") {
+      ++report.checks;
+      if (doc.scenario != value.as_string()) {
+        report.failures.push_back("header: scenario is '" + doc.scenario +
+                                  "', expected '" + value.as_string() + "'");
+      }
+    } else if (key == "points") {
+      ++report.checks;
+      if (doc.points.size() != value.as_uint64()) {
+        report.failures.push_back("header: document has " +
+                                  std::to_string(doc.points.size()) +
+                                  " points, expected " + value.number_text());
+      }
+    } else if (key == "min_total_trials") {
+      ++report.checks;
+      std::uint64_t total = 0;
+      for (const io::ResultPoint& point : doc.points) total += point.trials;
+      if (total < value.as_uint64()) {
+        report.failures.push_back("header: " + std::to_string(total) +
+                                  " total trials, expected >= " + value.number_text());
+      }
+    } else if (key == "checks") {
+      checks = &value;
+    } else {
+      throw InvalidArgument("verify: expectations: unknown key '" + key + "'");
+    }
+  }
+  if (checks != nullptr) {
+    for (const io::JsonValue& check : checks->items()) {
+      const std::string kind = check.at("check").as_string();
+      ++report.checks;
+      if (kind == "range") check_range(doc, check, report);
+      else if (kind == "monotone") check_monotone(doc, check, report);
+      else if (kind == "accounting") check_accounting(doc, check, report);
+      else throw InvalidArgument("verify: unknown check kind '" + kind + "'");
+    }
+  }
+  detail::require(report.checks > 0,
+                  "verify: expectations declare no checks at all");
+  return report;
+}
+
+VerifyReport verify_result_files(const std::string& result_path,
+                                 const std::string& expectations_path) {
+  const io::ResultDoc doc = io::parse_result_json(read_file(result_path));
+  const io::JsonValue expectations = io::parse_json(read_file(expectations_path));
+  return verify_result(doc, expectations);
+}
+
+}  // namespace uwb::farm

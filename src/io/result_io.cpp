@@ -92,7 +92,7 @@ ResultDoc parse_result_json(const std::string& text) {
   return doc;
 }
 
-ResultDoc merge_results(const std::vector<ResultDoc>& shards) {
+ResultDoc merge_results(const std::vector<ResultDoc>& shards, bool allow_partial) {
   detail::require(!shards.empty(), "merge: no result documents given");
   ResultDoc merged;
   merged.scenario = shards.front().scenario;
@@ -118,6 +118,20 @@ ResultDoc merge_results(const std::vector<ResultDoc>& shards) {
     detail::require(merged.points[i].index != merged.points[i - 1].index,
                     "merge: duplicate point index " +
                         std::to_string(merged.points[i].index));
+  }
+  if (!allow_partial) {
+    // Plan indices are dense (0..num_points-1), so any hole in the sorted
+    // indices means a shard is missing from the merge. (A missing tail is
+    // indistinguishable from a shorter plan here; the farm closes that gap
+    // by checking the merged count against the plan's point count.)
+    for (std::size_t i = 0; i < merged.points.size(); ++i) {
+      detail::require(
+          merged.points[i].index == i,
+          "merge: coverage gap -- point index " + std::to_string(i) +
+              " is missing (got " + std::to_string(merged.points[i].index) +
+              "); pass every shard of the sweep, or merge with "
+              "--allow-partial to accept an explicitly incomplete document");
+    }
   }
   return merged;
 }

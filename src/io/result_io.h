@@ -66,6 +66,14 @@ struct ResultDoc {
 /// must match, point indices must be disjoint; points are re-sorted by
 /// global index. Merging every shard of a sweep therefore reproduces the
 /// unsharded document byte for byte.
-[[nodiscard]] ResultDoc merge_results(const std::vector<ResultDoc>& shards);
+///
+/// Coverage is validated loudly: duplicate/overlapping indices are always
+/// an error, and -- unless \p allow_partial -- so is a gap (the merged
+/// indices must be exactly 0..max; a missing middle shard must not merge
+/// into a file indistinguishable from a complete run). allow_partial
+/// relaxes only the gap check, for explicitly degraded merges of a farm
+/// run whose failed shards are being skipped on purpose.
+[[nodiscard]] ResultDoc merge_results(const std::vector<ResultDoc>& shards,
+                                      bool allow_partial = false);
 
 }  // namespace uwb::io

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -42,6 +43,7 @@ io::JsonValue manifest_to_json(const RunManifest& m) {
 
   doc.set("result", io::JsonValue::string(m.result_path));
   doc.set("trace", io::JsonValue::string(m.trace_path));
+  doc.set("interrupted", io::JsonValue::boolean(m.interrupted));
   doc.set("wall_s", io::JsonValue::number(m.counters.wall_s));
 
   io::JsonValue build = io::JsonValue::object();
@@ -116,6 +118,10 @@ RunManifest manifest_from_json(const io::JsonValue& doc) {
 
   m.result_path = doc.at("result").as_string();
   m.trace_path = doc.at("trace").as_string();
+  // Optional for manifests written before interruption existed.
+  if (const io::JsonValue* interrupted = doc.find("interrupted")) {
+    m.interrupted = interrupted->as_bool();
+  }
   m.counters.wall_s = doc.at("wall_s").as_double();
 
   const io::JsonValue& build = doc.at("build");
@@ -165,6 +171,14 @@ void write_run_manifest(const RunManifest& manifest, const std::string& path) {
   detail::require(out.good(), "write_run_manifest: cannot open '" + path + "' for writing");
   out << io::dump_json_pretty(manifest_to_json(manifest)) << "\n";
   detail::require(out.good(), "write_run_manifest: write to '" + path + "' failed");
+}
+
+RunManifest load_run_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  detail::require(in.good(), "load_run_manifest: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return manifest_from_json(io::parse_json(buffer.str()));
 }
 
 std::string manifest_path_for(const std::string& result_path) {

@@ -53,6 +53,11 @@ struct RunManifest {
   sim::BerStop stop;
   std::string result_path;  ///< the result file this manifest describes
   std::string trace_path;   ///< "" when tracing was off
+
+  /// True when the run was cancelled (SIGINT/SIGTERM): the result file
+  /// holds a valid completed-point prefix, not the full plan. Absent in
+  /// manifests written before this field existed; those parse as false.
+  bool interrupted = false;
   BuildInfo build;
   RunCounters counters;
   std::vector<PointTiming> points;
@@ -67,6 +72,10 @@ struct RunManifest {
 /// Pretty-printed manifest_to_json written to \p path (parent directories
 /// created).
 void write_run_manifest(const RunManifest& manifest, const std::string& path);
+
+/// Reads and parses a manifest file. \throws InvalidArgument when the file
+/// is unreadable or malformed.
+[[nodiscard]] RunManifest load_run_manifest(const std::string& path);
 
 /// The conventional sidecar path for a result file: "<result>.run.json".
 [[nodiscard]] std::string manifest_path_for(const std::string& result_path);

@@ -37,6 +37,8 @@ struct BerStop {
   std::size_t max_bits = 2'000'000;  ///< ...or this many bits
   std::size_t max_trials = 100'000;  ///< ...or this many trials, hard stop
   std::string metric;                ///< "" = bit errors; else a success-flag metric
+
+  [[nodiscard]] bool operator==(const BerStop&) const = default;
 };
 
 /// Divides a stopping rule's error/bit budgets for a quick pass, clamped

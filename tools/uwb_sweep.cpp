@@ -23,7 +23,9 @@
 // default bench/results/channels) so sharded/remote runs load instead of
 // regenerate -- results are byte-identical either way (docs/channel_cache.md).
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +37,8 @@
 
 #include "common/error.h"
 #include "engine/channel_cache.h"
+#include "farm/exit_codes.h"
+#include "farm/fault.h"
 #include "engine/scenario_registry.h"
 #include "engine/sinks.h"
 #include "engine/sweep_engine.h"
@@ -49,6 +53,17 @@ namespace {
 
 using namespace uwb;
 
+/// SIGINT/SIGTERM land here: the engine checks the flag between points
+/// (and inside the trial loop), finishes winding down, and the normal exit
+/// path flushes a valid partial result document plus its manifest. A
+/// second signal during that wind-down still only sets the flag -- the
+/// default-action escape hatch is SIGQUIT/SIGKILL.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_cancel_signal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage:\n"
@@ -60,7 +75,9 @@ int usage(std::FILE* out) {
                "  uwb_sweep --file <spec.json> [axis=value ...] [options]\n"
                "      Run a scenario loaded from a JSON spec file.\n"
                "  uwb_sweep --merge <shard.json> <shard.json>... --out <path>\n"
-               "      Merge shard result files into one document.\n"
+               "      Merge shard result files into one document. Coverage must be\n"
+               "      complete (no duplicate and no missing point indices) unless\n"
+               "      --allow-partial is given.\n"
                "  uwb_sweep precompute <scenario|--file spec.json> [axis=value ...]\n"
                "      Materialize the scenario's channel ensembles into the binary\n"
                "      store (give --channel-ensemble N unless the spec already uses\n"
@@ -95,11 +112,21 @@ int usage(std::FILE* out) {
                "                     trials/sec, errors, ETA)\n"
                "  --progress-interval SEC\n"
                "                     heartbeat interval (default 1.0; needs --progress)\n"
+               "  --allow-partial    (with --merge) accept coverage gaps and mark no\n"
+               "                     error; duplicates are still rejected\n"
                "  --quiet            no console table, no end-of-run counter summary\n"
                "\n"
                "All diagnostics, progress, and summaries go to stderr; stdout carries\n"
-               "only results (the console table, --list, and subcommand reports).\n");
-  return out == stdout ? 0 : 2;
+               "only results (the console table, --list, and subcommand reports).\n"
+               "\n"
+               "exit codes:\n"
+               "  0  success\n"
+               "  1  runtime failure (I/O, internal error)\n"
+               "  2  bad arguments / usage\n"
+               "  3  scenario spec failed to load or validate\n"
+               "  4  interrupted (SIGINT/SIGTERM); a valid partial result document\n"
+               "     and its manifest (interrupted: true) were still flushed\n");
+  return out == stdout ? farm::kExitOk : farm::kExitBadArgs;
 }
 
 struct Args {
@@ -108,6 +135,7 @@ struct Args {
   bool fast = false;
   bool precompute = false;
   bool progress = false;
+  bool allow_partial = false;
   double progress_interval_s = 1.0;
   std::string scenario;
   std::string spec_file;
@@ -172,6 +200,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--fast") args.fast = true;
     else if (arg == "--file") args.spec_file = next(i, "--file");
     else if (arg == "--merge") merging = true;
+    else if (arg == "--allow-partial") args.allow_partial = true;
     else if (arg == "--workers") args.sweep.workers = parse_u64(next(i, "--workers"), "--workers");
     else if (arg == "--seed") args.sweep.seed = parse_u64(next(i, "--seed"), "--seed");
     else if (arg == "--shard") parse_shard(next(i, "--shard"), args.sweep);
@@ -219,6 +248,10 @@ Args parse_args(int argc, char** argv) {
   }
   detail::require(!args.channel_seed.has_value() || args.channel_ensemble >= 1,
                   "--channel-seed needs --channel-ensemble");
+  detail::require(!args.allow_partial || merging,
+                  "--allow-partial only applies to --merge");
+  detail::require(args.scenario.empty() || args.spec_file.empty(),
+                  "give either a scenario name or --file, not both");
   return args;
 }
 
@@ -289,8 +322,7 @@ std::vector<std::pair<uwb::channel::SvParams, txrx::ChannelSource>> ensemble_gro
   return groups;
 }
 
-int run_precompute(const Args& args) {
-  const engine::ScenarioSpec scenario = resolve_scenario(args);
+int run_precompute(const Args& args, const engine::ScenarioSpec& scenario) {
   const auto groups = ensemble_groups(scenario);
   detail::require(!groups.empty(),
                   "precompute: no ensemble-mode multipath points -- give "
@@ -330,7 +362,7 @@ int run_merge(const Args& args) {
     buffer << in.rdbuf();
     shards.push_back(io::parse_result_json(buffer.str()));
   }
-  const io::ResultDoc merged = io::merge_results(shards);
+  const io::ResultDoc merged = io::merge_results(shards, args.allow_partial);
   std::ofstream out(args.out_path, std::ios::binary | std::ios::trunc);
   detail::require(out.good(), "cannot open '" + args.out_path + "' for writing");
   out << io::write_result_json(merged);
@@ -340,8 +372,12 @@ int run_merge(const Args& args) {
   return 0;
 }
 
-int run_sweep(const Args& args) {
-  engine::ScenarioSpec scenario = resolve_scenario(args);
+int run_sweep(const Args& args, const engine::ScenarioSpec& scenario) {
+  // Test-only fault hook (docs/farm.md): inert unless UWB_FARM_FAULT names
+  // this worker's shard, in which case the process crashes, hangs, or
+  // corrupts its output exactly where a real fault would strike --
+  // after arguments and the spec resolved, before any result exists.
+  farm::FaultInjector::from_env(args.sweep.shard_index).fire(args.out_path);
 
   if (!args.dump_scenario_path.empty()) {
     io::save_scenario_file(scenario, args.dump_scenario_path);
@@ -390,6 +426,14 @@ int run_sweep(const Args& args) {
   sweep_config.trace = trace.has_value() ? &*trace : nullptr;
   sweep_config.progress = progress.has_value() ? &*progress : nullptr;
 
+  // Cooperative interruption: SIGINT/SIGTERM set a flag the engine polls,
+  // the sweep winds down at the next point boundary, and everything below
+  // still runs -- so an interrupted run flushes a *valid* partial result
+  // document (a prefix of completed points) plus a manifest that says so.
+  sweep_config.cancel = &g_cancel;
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+
   engine::SweepEngine engine(sweep_config);
   const engine::SweepResult result = engine.run(scenario, sinks);
 
@@ -411,6 +455,7 @@ int run_sweep(const Args& args) {
     manifest.stop = sweep_config.stop;
     manifest.result_path = args.out_path;
     manifest.trace_path = args.trace_path;
+    manifest.interrupted = result.interrupted;
     manifest.build = obs::current_build_info();
     manifest.counters = result.counters;
     for (const engine::PointRecord& record : result.records) {
@@ -429,23 +474,46 @@ int run_sweep(const Args& args) {
                  args.out_path.c_str(), manifest_path.c_str());
   }
   if (!args.quiet) print_counter_summary(result.counters);
-  return 0;
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "uwb_sweep: interrupted after %zu of %zu points; partial "
+                 "results flushed\n",
+                 result.records.size(), scenario.points.size());
+    return farm::kExitInterrupted;
+  }
+  return farm::kExitOk;
 }
 
 }  // namespace
 
+// Exit-code contract (also in usage() and docs/cli.md): 0 success,
+// 1 runtime failure, 2 bad arguments, 3 spec load/validation failure,
+// 4 interrupted with a valid partial result flushed. The farm's retry
+// classifier leans on this split: 2 and 3 are permanent, the rest
+// transient.
 int main(int argc, char** argv) {
+  Args args;
   try {
-    const Args args = parse_args(argc, argv);
+    args = parse_args(argc, argv);
+  } catch (const uwb::Error& e) {
+    std::fprintf(stderr, "uwb_sweep: %s\n", e.what());
+    return farm::kExitBadArgs;
+  }
+  try {
     if (args.list) return run_list();
     if (!args.merge_inputs.empty()) return run_merge(args);
     if (args.scenario.empty() && args.spec_file.empty()) return usage(stderr);
-    detail::require(args.scenario.empty() || args.spec_file.empty(),
-                    "give either a scenario name or --file, not both");
-    if (args.precompute) return run_precompute(args);
-    return run_sweep(args);
+    engine::ScenarioSpec scenario;
+    try {
+      scenario = resolve_scenario(args);
+    } catch (const uwb::Error& e) {
+      std::fprintf(stderr, "uwb_sweep: %s\n", e.what());
+      return farm::kExitSpecLoad;
+    }
+    if (args.precompute) return run_precompute(args, scenario);
+    return run_sweep(args, scenario);
   } catch (const uwb::Error& e) {
     std::fprintf(stderr, "uwb_sweep: %s\n", e.what());
-    return 1;
+    return farm::kExitRuntime;
   }
 }
