@@ -1,11 +1,17 @@
 // E10 (Section 1): "The large complexity required in the synchronization
 // and demodulation of the UWB signal results in more than half of the
 // system power being dissipated in the digital back end and the ADC."
-// Block-level power breakdowns of both generations.
+// Block-level power breakdowns of both generations, then the power/QoS
+// trade measured on the sweep engine: each rung of the registry's
+// "gen2_backend_ladder" scenario gets its modeled power next to its
+// engine-measured BER on CM3, so the paper's reconfiguration argument
+// (spend digital power only when the channel demands it) is one table.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "engine/scenario_registry.h"
+#include "engine/sweep_engine.h"
 #include "sim/scenario.h"
 #include "txrx/power_model.h"
 
@@ -26,27 +32,66 @@ void print_breakdown(const char* title, const uwb::txrx::PowerBreakdown& bd) {
               100.0 * bd.adc_plus_digital_fraction());
 }
 
+/// The backend-ladder scenario's config mutations, reapplied here to
+/// price each rung with the power model (the registry owns the BER side;
+/// "coded" prices as nominal -- the FEC burns no modeled hardware).
+uwb::txrx::Gen2Config ladder_config(const std::string& rung) {
+  uwb::txrx::Gen2Config config = uwb::sim::gen2_nominal();
+  if (rung == "minimal") {
+    config.rake.num_fingers = 2;
+    config.use_mlse = false;
+    config.mlse.memory = 1;
+    config.sar.bits = 3;
+  } else if (rung == "low") {
+    config.rake.num_fingers = 4;
+    config.use_mlse = false;
+    config.mlse.memory = 1;
+    config.sar.bits = 4;
+  } else if (rung == "maximal") {
+    config.rake.num_fingers = 16;
+    config.use_mlse = true;
+    config.mlse.memory = 5;
+    config.sar.bits = 6;
+  } else {  // nominal and coded
+    config.rake.num_fingers = 8;
+    config.use_mlse = true;
+    config.mlse.memory = 3;
+    config.sar.bits = 5;
+  }
+  return config;
+}
+
 }  // namespace
 
 int main() {
   using namespace uwb;
-  bench::print_header("E10 / Section 1", "power: ADC + digital back end dominate", 0);
+  const uint64_t seed = 0xE10;
+  bench::print_header("E10 / Section 1", "power: ADC + digital back end dominate", seed);
 
   print_breakdown("Generation 1 (0.18 um, baseband, 2 GSps flash)",
                   txrx::gen1_power(sim::gen1_nominal()));
   print_breakdown("Generation 2 (direct conversion, 2x 5-bit SAR, RAKE+MLSE)",
                   txrx::gen2_power(sim::gen2_nominal()));
 
-  // Sensitivity: the share holds across the configuration space.
-  sim::Table sens({"gen-2 configuration", "total", "ADC+digital share"});
-  for (auto [fingers, memory] : {std::pair{2, 1}, std::pair{8, 3}, std::pair{16, 6}}) {
-    txrx::Gen2Config config = sim::gen2_nominal();
-    config.rake.num_fingers = static_cast<std::size_t>(fingers);
-    config.mlse.memory = memory;
-    const auto bd = txrx::gen2_power(config);
-    sens.add_row({"fingers=" + std::to_string(fingers) + ", memory=" + std::to_string(memory),
-                  sim::Table::num(bd.total_w() * 1e3, 1) + " mW",
-                  sim::Table::percent(bd.adc_plus_digital_fraction(), 0)});
+  // Sensitivity: the share holds across the ladder, and the extra
+  // milliwatts buy measurable BER on a dispersive channel.
+  std::printf("Power vs QoS on CM3 at 14 dB (gen2_backend_ladder):\n\n");
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
+  sweep_config.stop = bench::stop_rule(30, 60000);
+  engine::SweepEngine engine(sweep_config);
+  const engine::ScenarioSpec ladder =
+      engine::ScenarioRegistry::global().make("gen2_backend_ladder");
+  const engine::SweepResult result = engine.run(ladder, {});
+
+  sim::Table sens({"backend", "total", "ADC+digital share", "BER"});
+  for (const auto& record : result.records) {
+    const std::string rung = record.spec.tag("backend");
+    const auto bd = txrx::gen2_power(ladder_config(rung));
+    sens.add_row({rung, sim::Table::num(bd.total_w() * 1e3, 1) + " mW",
+                  sim::Table::percent(bd.adc_plus_digital_fraction(), 0),
+                  sim::Table::sci(record.ber.ber)});
   }
   std::printf("%s", sens.to_string().c_str());
   return 0;

@@ -2,79 +2,67 @@
 // interferer and estimates its frequency that may be used in the front end
 // notch filter." Detection probability and frequency accuracy vs SIR, and
 // the BER recovered by closing the monitor -> notch loop.
+//
+// Both halves run on the parallel sweep engine via registry scenarios:
+// "gen2_spectral_monitor" records the detection metrics per SIR point,
+// "gen2_interferer_notch" measures the notch-off vs monitor->notch BER.
+// Raw points land in bench/results/gen2_spectral_monitor.json.
 
-#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/metrics.h"
+#include "engine/scenario_registry.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
 #include "sim/scenario.h"
+#include "txrx/link.h"
 
 int main() {
   using namespace uwb;
   const uint64_t seed = 0xE9;
   bench::print_header("E9 / Section 3", "spectral monitor: detect, estimate, notch", seed);
 
-  const double true_freq = 150e6;
-  const int packets = bench::fast_mode() ? 10 : 40;
+  engine::SweepConfig sweep_config;
+  sweep_config.seed = seed;
+  sweep_config.workers = bench::worker_count();
 
   // --- Detection and frequency estimation vs SIR ---------------------------
-  sim::Table det({"SIR", "P(detect)", "freq RMSE", "peak/median"});
-  for (double sir : {10.0, 0.0, -10.0, -20.0}) {
-    txrx::Gen2Config config = sim::gen2_fast();
-    txrx::Gen2Link link(config, seed + static_cast<uint64_t>(100 + sir));
-    txrx::TrialOptions options;
-    options.payload_bits = 200;
-    options.ebn0_db = 12.0;
-    options.interferer = true;
-    options.interferer_sir_db = sir;
-    options.interferer_freq_hz = true_freq;
+  // Detection statistics need packets, not bit errors: a fixed
+  // trial budget per point, no error target.
+  sweep_config.stop = bench::stop_rule(1000000, 20000);
 
-    int detected = 0;
-    double err_sq = 0.0, pom = 0.0;
-    for (int p = 0; p < packets; ++p) {
-      const auto trial = link.run_packet_full(options);
-      if (trial.rx.interferer.detected) {
-        ++detected;
-        const double e = trial.rx.interferer.frequency_hz - true_freq;
-        err_sq += e * e;
-      }
-      pom += trial.rx.interferer.peak_over_median_db;
-    }
-    det.add_row({sim::Table::db(sir, 0),
-                 sim::Table::percent(static_cast<double>(detected) / packets, 0),
-                 detected > 0 ? sim::Table::num(std::sqrt(err_sq / detected) / 1e6, 2) + " MHz"
-                              : "--",
-                 sim::Table::db(pom / packets)});
+  engine::JsonSink json(engine::default_result_path("gen2_spectral_monitor", "json"));
+  engine::SweepEngine engine(sweep_config);
+  const engine::ScenarioSpec monitor =
+      engine::ScenarioRegistry::global().make("gen2_spectral_monitor");
+  const engine::SweepResult result = engine.run(monitor, {&json});
+
+  sim::Table det({"SIR", "P(detect)", "|freq err|", "peak/median"});
+  for (const auto& record : result.records) {
+    const double p_detect =
+        bench::metric_mean(record.metrics, txrx::metric_names::kInterfererDetected);
+    const double freq_err =
+        bench::metric_mean(record.metrics, txrx::metric_names::kInterfererFreqErr, -1.0);
+    det.add_row({record.spec.tag("sir_db") + " dB", sim::Table::percent(p_detect, 0),
+                 freq_err >= 0.0 ? sim::Table::num(freq_err / 1e6, 2) + " MHz" : "--",
+                 sim::Table::db(bench::metric_mean(record.metrics,
+                                                   txrx::metric_names::kInterfererPom))});
   }
   std::printf("%s", det.to_string().c_str());
+  std::printf("\n(results: %s)\n", json.path().c_str());
 
   // --- Closing the loop: BER with and without the notch ---------------------
-  std::printf("\nBER at Eb/N0 = 10 dB with a CW interferer at SIR = -15 dB:\n\n");
-  sim::Table ber({"configuration", "BER"});
-  txrx::Gen2Config config = sim::gen2_fast();
-  const auto stop = bench::stop_rule(30, 50000);
-  {
-    txrx::TrialOptions options;
-    options.payload_bits = 300;
-    options.ebn0_db = 10.0;
-    txrx::Gen2Link link(config, seed);
-    ber.add_row({"clean channel", sim::Table::sci(bench::link_ber(link, options, stop).ber)});
-  }
-  {
-    txrx::TrialOptions options;
-    options.payload_bits = 300;
-    options.ebn0_db = 10.0;
-    options.interferer = true;
-    options.interferer_sir_db = -15.0;
-    options.interferer_freq_hz = true_freq;
-    txrx::Gen2Link link(config, seed);
-    ber.add_row({"interferer, notch off",
-                 sim::Table::sci(bench::link_ber(link, options, stop).ber)});
-    options.auto_notch = true;
-    txrx::Gen2Link link2(config, seed);
-    ber.add_row({"interferer, monitor->notch",
-                 sim::Table::sci(bench::link_ber(link2, options, stop).ber)});
+  std::printf("\nBER at Eb/N0 = 12 dB on CM1 with a CW interferer (gen2_interferer_notch):\n\n");
+  sweep_config.stop = bench::stop_rule(30, 50000);
+  engine::SweepEngine ber_engine(sweep_config);
+  const engine::ScenarioSpec notch =
+      engine::ScenarioRegistry::global().make("gen2_interferer_notch");
+  const engine::SweepResult ber_result = ber_engine.run(notch, {});
+
+  sim::Table ber({"SIR", "notch", "BER", "ci95"});
+  for (const auto& record : ber_result.records) {
+    ber.add_row({record.spec.tag("sir_db") + " dB", record.spec.tag("notch"),
+                 sim::Table::sci(record.ber.ber), sim::Table::sci(record.ber.ci95)});
   }
   std::printf("%s", ber.to_string().c_str());
   std::printf("\nShape check: reliable detection once the tone clears the UWB floor by a\n"

@@ -1,8 +1,9 @@
 #pragma once
 /// \file metric_accumulator.h
 /// \brief The reduction layer between trial outcomes and measured points:
-///        BER counters plus per-metric count/sum/sum-of-squares, with the
-///        generalized stopping rule evaluated on commit.
+///        BER counters (weighted when trials are importance-sampled) plus
+///        per-metric count/sum/sum-of-squares, with the generalized
+///        stopping rule evaluated on commit.
 ///
 /// One accumulator instance backs one grid point. The ordered-commit loop
 /// (engine/parallel_ber.cpp) feeds it committed outcomes strictly in
@@ -15,19 +16,28 @@
 #include <cstddef>
 
 #include "sim/ber_simulator.h"
+#include "stats/binomial_ci.h"
+#include "stats/weighted.h"
 
 namespace uwb::engine {
 
 class MetricAccumulator {
  public:
-  explicit MetricAccumulator(const sim::BerStop& stop) : stop_(stop) {}
+  explicit MetricAccumulator(const sim::BerStop& stop,
+                             stats::CiMethod ci_method = stats::CiMethod::kClopperPearson)
+      : stop_(stop), ci_method_(ci_method) {}
 
   /// True while the stopping rule allows committing another trial. The
   /// error budget counts bit errors by default; when stop.metric is set it
-  /// counts committed trials whose named metric was absent or zero.
-  [[nodiscard]] bool keep_going(std::size_t committed_trials) const noexcept {
-    return error_count() < stop_.min_errors && ber_.bits() < stop_.max_bits &&
-           committed_trials < stop_.max_trials;
+  /// counts committed trials whose named metric was absent or zero. A
+  /// target_rel_ci_width > 0 replaces the error budget with a relative
+  /// CI-width check; max_bits/max_trials stay as hard caps either way.
+  [[nodiscard]] bool keep_going(std::size_t committed_trials) const {
+    if (ber_.bits() >= stop_.max_bits || committed_trials >= stop_.max_trials) {
+      return false;
+    }
+    if (stop_.target_rel_ci_width > 0.0) return !ci_target_met();
+    return error_count() < stop_.min_errors;
   }
 
   /// Counts one committed trial (call in trial-index order).
@@ -40,13 +50,19 @@ class MetricAccumulator {
   [[nodiscard]] std::size_t committed_bits() const noexcept { return ber_.bits(); }
   [[nodiscard]] std::size_t committed_errors() const noexcept { return error_count(); }
 
+  /// Whether the CI-width target (if any) is the reason the rule stopped.
+  [[nodiscard]] bool ci_target_met() const;
+
  private:
   [[nodiscard]] std::size_t error_count() const noexcept {
     return stop_.metric.empty() ? ber_.errors() : metric_errors_;
   }
 
   sim::BerStop stop_;
+  stats::CiMethod ci_method_;
   sim::BerCounter ber_;
+  stats::WeightedBer weighted_;  ///< parallel weighted sums (importance sampling)
+  bool any_weighted_ = false;
   sim::MetricSet metrics_;
   std::size_t metric_errors_ = 0;  ///< failed-trial count for stop_.metric
 };

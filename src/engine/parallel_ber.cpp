@@ -22,7 +22,10 @@ constexpr std::size_t kTraceChunkTrials = 64;
 /// Why the stopping rule fired, for the trace's "stop" instant event.
 const char* stop_reason(const MetricAccumulator& acc, const sim::BerStop& stop,
                         std::size_t committed) {
-  if (acc.committed_errors() >= stop.min_errors) return "min_errors";
+  if (stop.target_rel_ci_width > 0.0 && acc.ci_target_met()) return "ci_target";
+  if (stop.target_rel_ci_width <= 0.0 && acc.committed_errors() >= stop.min_errors) {
+    return "min_errors";
+  }
   if (acc.committed_bits() >= stop.max_bits) return "max_bits";
   if (committed >= stop.max_trials) return "max_trials";
   return "unknown";
@@ -31,8 +34,8 @@ const char* stop_reason(const MetricAccumulator& acc, const sim::BerStop& stop,
 }  // namespace
 
 sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
-                                        const Rng& root) {
-  MetricAccumulator acc(stop);
+                                        const Rng& root, stats::CiMethod ci_method) {
+  MetricAccumulator acc(stop, ci_method);
   std::size_t trials = 0;
   while (acc.keep_going(trials)) {
     Rng trial_rng = root.fork(trials);
@@ -44,12 +47,13 @@ sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop
 
 sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
                                           const sim::BerStop& stop, const Rng& root,
-                                          ThreadPool& pool, const PointHooks& hooks) {
+                                          ThreadPool& pool, const PointHooks& hooks,
+                                          stats::CiMethod ci_method) {
   // Shared ordered-commit state. Workers race ahead claiming trial indices
   // but outcomes only count once every lower-indexed trial has counted and
   // the stopping rule was still live -- the sequential semantics exactly.
   struct Shared {
-    explicit Shared(const sim::BerStop& stop) : acc(stop) {}
+    Shared(const sim::BerStop& stop, stats::CiMethod method) : acc(stop, method) {}
     std::mutex mutex;
     std::condition_variable window_open;   // speculation window advanced / stop
     std::condition_variable workers_done;
@@ -59,7 +63,7 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
     MetricAccumulator acc;
     bool stopped = false;
     std::size_t active_workers = 0;
-  } shared(stop);
+  } shared(stop, ci_method);
 
   // Degenerate budgets: nothing to run (matches the serial loop).
   if (!shared.acc.keep_going(0)) return shared.acc.finish(0);

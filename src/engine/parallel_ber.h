@@ -43,9 +43,12 @@ using TrialFactory = std::function<TrialFn()>;
 /// Sequential reference implementation: trial i runs with root.fork(i);
 /// stops once the error budget (bit errors, or failed trials of
 /// stop.metric when set), max_bits bits, or max_trials trials are reached
-/// (max_trials is a hard stop even when no errors accumulate).
-sim::MeasuredPoint measure_point_serial(const TrialFn& trial, const sim::BerStop& stop,
-                                        const Rng& root);
+/// (max_trials is a hard stop even when no errors accumulate). \p ci_method
+/// selects the two-sided interval the finished point reports (weighted
+/// points always report the normal interval regardless).
+sim::MeasuredPoint measure_point_serial(
+    const TrialFn& trial, const sim::BerStop& stop, const Rng& root,
+    stats::CiMethod ci_method = stats::CiMethod::kClopperPearson);
 
 /// Optional telemetry hooks for one point measurement. Both observers may
 /// be null; neither can change the measured result (they never touch Rng
@@ -75,9 +78,10 @@ struct PointHooks {
 /// window ahead of the commit frontier, and commit in index order.
 /// Outcomes past the stopping point are discarded, exactly as if they had
 /// never run.
-sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
-                                          const sim::BerStop& stop, const Rng& root,
-                                          ThreadPool& pool, const PointHooks& hooks = {});
+sim::MeasuredPoint measure_point_parallel(
+    const TrialFactory& factory, const sim::BerStop& stop, const Rng& root,
+    ThreadPool& pool, const PointHooks& hooks = {},
+    stats::CiMethod ci_method = stats::CiMethod::kClopperPearson);
 
 /// BER-only convenience wrappers (drop the metric reductions).
 sim::BerPoint measure_ber_serial(const TrialFn& trial, const sim::BerStop& stop,

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "fec/convolutional.h"
 #include "sim/scenario.h"
+#include "stats/sampling.h"
 
 namespace uwb::engine {
 
@@ -423,6 +424,60 @@ void register_builtins(ScenarioRegistry& registry) {
                   c.pulse.shape = pulse::PulseShape::kGaussian;
                 }}})
         .ebn0_grid({4.0, 6.0, 8.0, 10.0});
+    return builder.build();
+  });
+
+  registry.add("gen2_cm_grid_deep", [] {
+    // The rare-event companion to gen2_cm_grid: Eb/N0 pushed into the
+    // BER <= 1e-5 regime where plain Monte-Carlo sees zero errors on any
+    // sane budget (6 dB stays shallow as the plain-vs-IS agreement
+    // point). The "sampling" axis pairs every point with its noise-tilted
+    // importance-sampled twin; CM1 points share a fixed channel ensemble
+    // so the plain/IS comparison is over the same physical channels, not
+    // two different fading draws.
+    txrx::TrialOptions options;
+    options.payload_bits = 300;
+    options.channel_source.mode = txrx::ChannelSource::Mode::kEnsemble;
+    options.channel_source.ensemble_count = 32;
+    Gen2ScenarioBuilder builder("gen2_cm_grid_deep", sim::gen2_fast(), options);
+    builder
+        .description("gen-2 deep-BER grid on AWGN/CM1: plain MC vs noise-tilt IS")
+        .channels({0, 1})
+        .ebn0_grid({6.0, 10.0, 12.0, 14.0, 16.0, 20.0})
+        .axis("sampling",
+              {{"plain", [](txrx::Gen2Config&, txrx::TrialOptions&) {}},
+               {"is", [](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                  o.sampling.mode = stats::SamplingMode::kAutoLadder;
+                  o.sampling.max_scale = 6.0;
+                  o.sampling.levels = 4;
+                }}});
+    return builder.build();
+  });
+
+  registry.add("gen2_spectral_monitor", [] {
+    // E9's detection half on the engine: detection probability, tone
+    // frequency error and peak-over-median margin vs SIR, recorded as
+    // per-point metrics (the BER column doubles as the jammed link's
+    // packet error floor at 12 dB).
+    txrx::TrialOptions options;
+    options.payload_bits = 200;
+    options.ebn0_db = 12.0;
+    options.interferer = true;
+    options.interferer_freq_hz = 150e6;
+    options.run_spectral_monitor = true;
+    Gen2ScenarioBuilder builder("gen2_spectral_monitor", sim::gen2_fast(), options);
+    builder
+        .description("spectral monitor: detection rate and tone frequency error vs SIR")
+        .axis("sir_db", [] {
+          std::vector<Gen2Variant> variants;
+          for (double sir : {10.0, 0.0, -10.0, -20.0}) {
+            variants.push_back({builder_detail::format_axis_number(sir),
+                                [sir](txrx::Gen2Config&, txrx::TrialOptions& o) {
+                                  o.interferer_sir_db = sir;
+                                }});
+          }
+          return variants;
+        }());
     return builder.build();
   });
 }

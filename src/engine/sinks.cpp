@@ -78,7 +78,7 @@ void ConsoleTableSink::end(const SweepInfo& info) {
     (void)value;
     headers.push_back(key);
   }
-  for (const char* h : {"BER", "ci95", "errors", "bits", "trials"}) {
+  for (const char* h : {"BER", "ci95", "ci_lo", "ci_hi", "errors", "bits", "trials"}) {
     headers.emplace_back(h);
   }
   for (const auto& name : metric_names) headers.push_back(name);
@@ -92,6 +92,8 @@ void ConsoleTableSink::end(const SweepInfo& info) {
     }
     row.push_back(sim::Table::sci(record.ber.ber));
     row.push_back(sim::Table::sci(record.ber.ci95));
+    row.push_back(sim::Table::sci(record.ber.ci_lo));
+    row.push_back(sim::Table::sci(record.ber.ci_hi));
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.errors)));
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.bits)));
     row.push_back(sim::Table::integer(static_cast<long long>(record.ber.trials)));
@@ -129,6 +131,11 @@ void JsonSink::end(const SweepInfo& info) {
     point.errors = record.ber.errors;
     point.bits = record.ber.bits;
     point.trials = record.ber.trials;
+    point.ci_lo = io::format_double(record.ber.ci_lo);
+    point.ci_hi = io::format_double(record.ber.ci_hi);
+    point.ci_method = stats::to_string(record.ber.ci_method);
+    point.weighted = record.ber.weighted;
+    if (record.ber.weighted) point.ess = io::format_double(record.ber.ess);
     for (const auto& [name, stats] : record.metrics.entries()) {
       io::ResultMetric metric;
       metric.name = name;
@@ -163,7 +170,7 @@ void CsvSink::end(const SweepInfo& info) {
       out << "," << csv_escape(key);
     }
   }
-  out << ",ber,ci95,errors,bits,trials";
+  out << ",ber,ci95,ci_lo,ci_hi,ci_method,errors,bits,trials,ess";
   for (const auto& name : metric_names) {
     out << "," << csv_escape(name) << "_count," << csv_escape(name) << "_mean,"
         << csv_escape(name) << "_var";
@@ -176,8 +183,12 @@ void CsvSink::end(const SweepInfo& info) {
       out << "," << csv_escape(value);
     }
     out << "," << io::format_double(record.ber.ber) << ","
-        << io::format_double(record.ber.ci95) << "," << record.ber.errors << ","
-        << record.ber.bits << "," << record.ber.trials;
+        << io::format_double(record.ber.ci95) << ","
+        << io::format_double(record.ber.ci_lo) << ","
+        << io::format_double(record.ber.ci_hi) << ","
+        << stats::to_string(record.ber.ci_method) << "," << record.ber.errors << ","
+        << record.ber.bits << "," << record.ber.trials << ","
+        << io::format_double(record.ber.ess);
     for (const auto& name : metric_names) {
       const sim::MetricStats* stats = record.metrics.find(name);
       if (stats == nullptr) {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
 
 #include "common/error.h"
+#include "stats/adaptive.h"
 #include "dsp/fft.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -31,10 +33,25 @@ TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed,
     return [&spec, link, ensemble](std::size_t index, Rng& rng) {
       txrx::TrialContext context;
       if (ensemble != nullptr) context.channel = &ensemble->realization_for_trial(index);
+      const stats::SamplingPolicy& sampling = spec.link.options.sampling;
+      if (sampling.active()) {
+        // Index-keyed bias resolution (like the ensemble realization
+        // above): trial i's scale and target-bit stratum depend only on i,
+        // so weighted sweeps stay deterministic for any worker count.
+        context.noise_scale = stats::trial_noise_scale(sampling, index);
+        context.sampling_trial = index;
+        context.sampling_resolved = true;
+      }
       txrx::TrialResult trial = link->run_packet(spec.link.options, rng, context);
       sim::TrialOutcome out;
       out.bits = trial.bits;
       out.errors = trial.errors;
+      // The importance weight bypasses the record_metrics filter: it is
+      // estimator state, not an optional observable.
+      if (const std::optional<double> llr = trial.metric(txrx::metric_names::kIsLlr)) {
+        out.log_weight = *llr;
+        out.weighted = true;
+      }
       // record_metrics filters AND orders the recorded reductions; empty
       // means record everything the trial emitted, in emission order.
       const std::vector<std::string>& wanted = spec.link.options.record_metrics;
@@ -185,7 +202,7 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     const auto start = std::chrono::steady_clock::now();
     sim::MeasuredPoint measured = measure_point_parallel(
         make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
-        pool, hooks);
+        pool, hooks, config_.ci_method);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
     if (hooks.cancelled()) {
@@ -249,6 +266,101 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
 SweepResult SweepEngine::run_named(const std::string& name,
                                    const std::vector<ResultSink*>& sinks) {
   return run(ScenarioRegistry::global().make(name), sinks);
+}
+
+SweepResult SweepEngine::run_adaptive(const ScenarioSpec& scenario,
+                                      std::size_t extra_trials,
+                                      const std::vector<ResultSink*>& sinks) {
+  detail::require(config_.shard_count == 1,
+                  "run_adaptive: adaptive allocation is incompatible with sharding "
+                  "(the allocator must see every point's CI to pick the widest)");
+
+  // Base pass without sinks: the document is written once, after the whole
+  // budget is spent, so a reader never sees half-topped-up points.
+  SweepResult result = run(scenario, {});
+
+  if (!result.interrupted && extra_trials > 0 && !result.records.empty()) {
+    ChannelCache& cache =
+        config_.channel_cache != nullptr ? *config_.channel_cache : ChannelCache::global();
+    ThreadPool pool(config_.workers, config_.trace);
+    const Rng sweep_root(config_.seed);
+    // Top-ups run without the progress meter (its point counts were sized
+    // for the base pass); the trace recorder still sees them.
+    const PointHooks hooks{config_.trace, nullptr, config_.cancel};
+
+    std::vector<stats::AllocPoint> alloc;
+    alloc.reserve(result.records.size());
+    for (const PointRecord& rec : result.records) {
+      alloc.push_back(stats::AllocPoint{rec.ber.ber, 0.5 * (rec.ber.ci_hi - rec.ber.ci_lo),
+                                        rec.ber.trials, false});
+    }
+
+    std::size_t remaining = extra_trials;
+    while (remaining > 0 && !hooks.cancelled()) {
+      const int pick = stats::pick_widest(alloc);
+      if (pick < 0) break;  // every point saturated
+      stats::AllocPoint& ap = alloc[static_cast<std::size_t>(pick)];
+      PointRecord& rec = result.records[static_cast<std::size_t>(pick)];
+      const std::size_t p = rec.index;
+
+      // Trial-budgeted extension: the error/bit budgets already fired on
+      // the base pass, so only the raised trial cap (and a CI target, when
+      // one is set) bounds the top-up. Rerunning with a larger cap commits
+      // a superset prefix of the same trial stream -- the base trials are
+      // reproduced bit for bit, then extended.
+      sim::BerStop stop = config_.stop;
+      stop.min_errors = std::numeric_limits<std::size_t>::max();
+      stop.max_bits = std::numeric_limits<std::size_t>::max();
+      stop.max_trials = ap.trials + stats::next_chunk(ap.trials, remaining);
+
+      const Rng point_root = sweep_root.fork(p);
+      const Rng trial_root = point_root.fork(kTrialStreamSalt);
+      const uint64_t link_seed = point_root.fork(kLinkSeedSalt).seed();
+      std::shared_ptr<const ChannelEnsemble> ensemble;
+      const txrx::ChannelSource& source = rec.spec.link.options.channel_source;
+      if (source.is_ensemble() && rec.spec.link.options.cm >= 1) {
+        const channel::SvParams params =
+            txrx::ensemble_sv_params(rec.spec.link.options.cm, rec.spec.link.generation());
+        ensemble = cache.get(params, source.ensemble_seed, source.ensemble_count);
+      }
+
+      obs::Span span(config_.trace, "engine", "topup " + rec.spec.label);
+      const auto start = std::chrono::steady_clock::now();
+      sim::MeasuredPoint measured = measure_point_parallel(
+          make_trial_factory(rec.spec, link_seed, std::move(ensemble)), stop, trial_root,
+          pool, hooks, config_.ci_method);
+      span.finish();
+      if (hooks.cancelled()) {
+        result.interrupted = true;
+        break;
+      }
+      rec.elapsed_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                           .count();
+
+      const std::size_t grown =
+          measured.ber.trials > ap.trials ? measured.ber.trials - ap.trials : 0;
+      if (grown == 0) {
+        // A CI target (or a degenerate plan) kept the point from growing:
+        // never pick it again, the budget moves to the next-widest point.
+        ap.saturated = true;
+        continue;
+      }
+      remaining -= std::min(remaining, grown);
+      rec.ber = measured.ber;
+      rec.metrics = std::move(measured.metrics);
+      ap.ber = rec.ber.ber;
+      ap.ci_halfwidth = 0.5 * (rec.ber.ci_hi - rec.ber.ci_lo);
+      ap.trials = rec.ber.trials;
+    }
+    result.counters.pool = pool.worker_stats();
+  }
+
+  for (ResultSink* sink : sinks) sink->begin(result.info);
+  for (const PointRecord& rec : result.records) {
+    for (ResultSink* sink : sinks) sink->point(rec);
+  }
+  for (ResultSink* sink : sinks) sink->end(result.info);
+  return result;
 }
 
 }  // namespace uwb::engine

@@ -48,6 +48,12 @@ struct SweepConfig {
   std::size_t workers = 0;  ///< 0 = hardware concurrency
   sim::BerStop stop;
 
+  /// Two-sided interval reported for unweighted points (weighted points
+  /// always use the normal interval on the weight sums). Exact
+  /// Clopper-Pearson by default: rare-event points with a handful of
+  /// errors -- or none -- still get honest coverage.
+  stats::CiMethod ci_method = stats::CiMethod::kClopperPearson;
+
   /// Process-level sharding: run only the points whose global index is
   /// congruent to shard_index mod shard_count. Seeding stays keyed on the
   /// global index, so N shards together reproduce the unsharded sweep
@@ -113,6 +119,18 @@ class SweepEngine {
 
   /// Convenience: expand a registered scenario by name and run it.
   SweepResult run_named(const std::string& name, const std::vector<ResultSink*>& sinks = {});
+
+  /// Adaptive allocation: a base pass at the configured stop rule, then up
+  /// to \p extra_trials additional trials poured into whichever point has
+  /// the widest CI half-width relative to its BER (a zero-error point
+  /// counts as infinitely wide). Each top-up re-measures the point with a
+  /// larger trial cap, which -- by the ordered-commit determinism contract
+  /// -- extends the point's committed prefix rather than re-rolling it, so
+  /// the final document is still a pure function of (scenario, seed, stop,
+  /// extra_trials). Sinks receive the finished records once, at the end.
+  /// Incompatible with sharding (the allocator must see every point).
+  SweepResult run_adaptive(const ScenarioSpec& scenario, std::size_t extra_trials,
+                           const std::vector<ResultSink*>& sinks = {});
 
  private:
   SweepConfig config_;

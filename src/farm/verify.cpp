@@ -159,6 +159,43 @@ void check_monotone(const io::ResultDoc& doc, const io::JsonValue& check,
   }
 }
 
+void check_ci_contains(const io::ResultDoc& doc, const io::JsonValue& check,
+                       VerifyReport& report) {
+  const io::JsonValue* where = check.find("where");
+  const io::JsonValue* value_v = check.find("value");
+  const auto points = select(doc, where);
+  if (points.empty()) {
+    report.failures.push_back("ci_contains (" + describe_where(where) +
+                              "): selects no points");
+    return;
+  }
+  for (const io::ResultPoint* point : points) {
+    const std::string at = "ci_contains: point " + std::to_string(point->index) +
+                           " ('" + point->label + "')";
+    if (point->ci_lo.empty() || point->ci_hi.empty()) {
+      report.failures.push_back(at + " carries no two-sided interval");
+      continue;
+    }
+    const double lo = parse_literal(point->ci_lo, "ci_lo");
+    const double hi = parse_literal(point->ci_hi, "ci_hi");
+    if (hi < lo) {
+      report.failures.push_back(at + " has inverted interval [" +
+                                io::format_double(lo) + ", " + io::format_double(hi) +
+                                "]");
+      continue;
+    }
+    const double v = value_v != nullptr ? value_v->as_double()
+                                        : parse_literal(point->ber, "ber");
+    if (v < lo || v > hi) {
+      report.failures.push_back(
+          at + ": [" + io::format_double(lo) + ", " + io::format_double(hi) +
+          "] does not contain " +
+          (value_v != nullptr ? value_v->number_text() : "its own ber ") +
+          (value_v != nullptr ? "" : io::format_double(v)));
+    }
+  }
+}
+
 void check_accounting(const io::ResultDoc& doc, const io::JsonValue& check,
                       VerifyReport& report) {
   const io::JsonValue* min_trials_v = check.find("min_trials");
@@ -232,6 +269,7 @@ VerifyReport verify_result(const io::ResultDoc& doc,
       if (kind == "range") check_range(doc, check, report);
       else if (kind == "monotone") check_monotone(doc, check, report);
       else if (kind == "accounting") check_accounting(doc, check, report);
+      else if (kind == "ci_contains") check_ci_contains(doc, check, report);
       else throw InvalidArgument("verify: unknown check kind '" + kind + "'");
     }
   }

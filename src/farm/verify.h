@@ -22,8 +22,13 @@
 ///        "group_by": ["channel"],       // optional; default: one group
 ///        "direction": "nonincreasing",  // or "nondecreasing"
 ///        "tolerance": 0},               // optional slack
-///       {"check": "accounting"}         // errors <= bits, trials within
+///       {"check": "accounting"},        // errors <= bits, trials within
 ///                                       // the stop rule, on every point
+///       {"check": "ci_contains",        // each selected point's two-sided
+///        "where": {"channel": "AWGN"},  // [ci_lo, ci_hi] must contain
+///        "value": 1e-3}                 // "value" -- or, with "value"
+///                                       // absent, the point's own ber
+///                                       // (interval brackets estimate)
 ///     ]
 ///   }
 ///

@@ -21,6 +21,9 @@ std::string write_result_json(const ResultDoc& doc) {
   if (!doc.stop.metric.empty()) {
     out << ", \"metric\": \"" << json_escape(doc.stop.metric) << "\"";
   }
+  if (doc.stop.target_rel_ci_width > 0.0) {
+    out << ", \"target_rel_ci_width\": " << format_double(doc.stop.target_rel_ci_width);
+  }
   out << "},\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < doc.points.size(); ++i) {
@@ -35,6 +38,13 @@ std::string write_result_json(const ResultDoc& doc) {
     out << "}, \"ber\": " << point.ber << ", \"ci95\": " << point.ci95
         << ", \"errors\": " << point.errors << ", \"bits\": " << point.bits
         << ", \"trials\": " << point.trials;
+    if (!point.ci_lo.empty()) {
+      out << ", \"ci_lo\": " << point.ci_lo << ", \"ci_hi\": " << point.ci_hi
+          << ", \"ci_method\": \"" << json_escape(point.ci_method) << "\"";
+    }
+    if (point.weighted) {
+      out << ", \"weighted\": true, \"ess\": " << point.ess;
+    }
     if (!point.metrics.empty()) {
       out << ",\n     \"metrics\": {";
       for (std::size_t m = 0; m < point.metrics.size(); ++m) {
@@ -65,6 +75,9 @@ ResultDoc parse_result_json(const std::string& text) {
   if (const JsonValue* metric = stop.find("metric")) {
     doc.stop.metric = metric->as_string();
   }
+  if (const JsonValue* width = stop.find("target_rel_ci_width")) {
+    doc.stop.target_rel_ci_width = width->as_double();
+  }
   for (const JsonValue& p : root.at("points").items()) {
     ResultPoint point;
     point.index = p.at("index").as_uint64();
@@ -77,6 +90,11 @@ ResultDoc parse_result_json(const std::string& text) {
     point.errors = p.at("errors").as_uint64();
     point.bits = p.at("bits").as_uint64();
     point.trials = p.at("trials").as_uint64();
+    if (const JsonValue* lo = p.find("ci_lo")) point.ci_lo = lo->number_text();
+    if (const JsonValue* hi = p.find("ci_hi")) point.ci_hi = hi->number_text();
+    if (const JsonValue* method = p.find("ci_method")) point.ci_method = method->as_string();
+    if (const JsonValue* weighted = p.find("weighted")) point.weighted = weighted->as_bool();
+    if (const JsonValue* ess = p.find("ess")) point.ess = ess->number_text();
     if (const JsonValue* metrics = p.find("metrics")) {
       for (const auto& [name, stats] : metrics->members()) {
         ResultMetric metric;
@@ -103,11 +121,7 @@ ResultDoc merge_results(const std::vector<ResultDoc>& shards, bool allow_partial
                     "merge: scenario mismatch ('" + shard.scenario + "' vs '" +
                         merged.scenario + "')");
     detail::require(shard.seed == merged.seed, "merge: seed mismatch");
-    detail::require(shard.stop.min_errors == merged.stop.min_errors &&
-                        shard.stop.max_bits == merged.stop.max_bits &&
-                        shard.stop.max_trials == merged.stop.max_trials &&
-                        shard.stop.metric == merged.stop.metric,
-                    "merge: stopping-rule mismatch");
+    detail::require(shard.stop == merged.stop, "merge: stopping-rule mismatch");
     merged.points.insert(merged.points.end(), shard.points.begin(), shard.points.end());
   }
   std::stable_sort(merged.points.begin(), merged.points.end(),

@@ -44,6 +44,20 @@ struct ResultPoint {
   std::uint64_t errors = 0;
   std::uint64_t bits = 0;
   std::uint64_t trials = 0;
+
+  /// Two-sided 95% interval + method name ("clopper_pearson", "wilson",
+  /// "normal_weighted"). Every new run writes them; empty strings mean the
+  /// fields were absent (a pre-CI document), and absent fields are not
+  /// re-invented on write, so old files still round-trip byte for byte.
+  std::string ci_lo;
+  std::string ci_hi;
+  std::string ci_method;
+
+  /// Importance-sampled point: ber/ci are weighted estimates and \p ess
+  /// carries the weight set's effective sample size.
+  bool weighted = false;
+  std::string ess;
+
   std::vector<ResultMetric> metrics;  ///< ordered as recorded
 };
 

@@ -362,6 +362,16 @@ JsonValue to_json(const txrx::TrialOptions& options) {
   out.set("run_spectral_monitor", JsonValue::boolean(options.run_spectral_monitor));
   out.set("fec", options.fec.has_value() ? to_json(*options.fec) : JsonValue::null());
   out.set("acq_tol_samples", JsonValue::number(static_cast<uint64_t>(options.acq_tol_samples)));
+  if (options.sampling.active()) {
+    // Written only when active: plain Monte-Carlo specs keep their exact
+    // historical byte layout.
+    JsonValue sampling = JsonValue::object();
+    sampling.set("mode", JsonValue::string(stats::to_string(options.sampling.mode)));
+    sampling.set("scale", JsonValue::number(options.sampling.scale));
+    sampling.set("max_scale", JsonValue::number(options.sampling.max_scale));
+    sampling.set("levels", JsonValue::number(options.sampling.levels));
+    out.set("sampling", std::move(sampling));
+  }
   JsonValue record = JsonValue::array();
   for (const std::string& name : options.record_metrics) {
     record.push_back(JsonValue::string(name));
@@ -396,6 +406,17 @@ txrx::TrialOptions trial_options_from_json(const JsonValue& v, txrx::TrialOption
       for (const auto& name : val.items()) {
         options.record_metrics.push_back(name.as_string());
       }
+    } else if (key == "sampling") {
+      stats::SamplingPolicy policy;
+      for (const auto& [k2, v2] : val.members()) {
+        if (k2 == "mode") policy.mode = stats::sampling_mode_from_name(v2.as_string());
+        else if (k2 == "scale") policy.scale = v2.as_double();
+        else if (k2 == "max_scale") policy.max_scale = v2.as_double();
+        else if (k2 == "levels") policy.levels = v2.as_int();
+        else unknown_key("sampling", k2);
+      }
+      stats::validate(policy);
+      options.sampling = policy;
     } else {
       unknown_key("options", key);
     }
@@ -569,6 +590,9 @@ JsonValue to_json(const sim::BerStop& stop) {
   out.set("max_bits", JsonValue::number(stop.max_bits));
   out.set("max_trials", JsonValue::number(stop.max_trials));
   if (!stop.metric.empty()) out.set("metric", JsonValue::string(stop.metric));
+  if (stop.target_rel_ci_width > 0.0) {
+    out.set("target_rel_ci_width", JsonValue::number(stop.target_rel_ci_width));
+  }
   return out;
 }
 
@@ -579,6 +603,7 @@ sim::BerStop ber_stop_from_json(const JsonValue& v) {
     else if (key == "max_bits") stop.max_bits = as_size(val);
     else if (key == "max_trials") stop.max_trials = as_size(val);
     else if (key == "metric") stop.metric = val.as_string();
+    else if (key == "target_rel_ci_width") stop.target_rel_ci_width = val.as_double();
     else unknown_key("stop", key);
   }
   return stop;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/metrics.h"
+#include "stats/binomial_ci.h"
 
 namespace uwb::sim {
 
@@ -18,10 +19,17 @@ namespace uwb::sim {
 /// RAKE capture, SNR estimate, ...). A metric absent from a trial simply
 /// contributes no observation -- e.g. a sync-time metric emitted only on
 /// detected trials averages over the detected subset.
+///
+/// Importance-sampled trials (stats::SamplingPolicy) set \p weighted and
+/// carry the trial's log-likelihood ratio: the errors then enter the BER
+/// estimate scaled by exp(log_weight) while bits stay the unweighted
+/// denominator.
 struct TrialOutcome {
   std::size_t bits = 0;
   std::size_t errors = 0;
   std::vector<std::pair<std::string, double>> metrics;
+  double log_weight = 0.0;
+  bool weighted = false;
 };
 
 /// Stopping rule. max_trials is a hard stop even when a trial stream
@@ -32,11 +40,17 @@ struct TrialOutcome {
 /// per-trial success-flag metric instead: a committed trial then counts
 /// one error toward min_errors when that metric is absent or zero (e.g.
 /// metric = "timing_correct" stops after min_errors acquisition failures).
+/// Setting \p target_rel_ci_width > 0 switches the error budget off: the
+/// point instead stops once its BER estimate has at least one error and a
+/// 95% CI half-width / BER ratio at or below the target (Wilson for plain
+/// counts, the normal interval for weighted estimates). max_bits and
+/// max_trials stay as hard caps either way.
 struct BerStop {
   std::size_t min_errors = 50;       ///< stop after this many errors...
   std::size_t max_bits = 2'000'000;  ///< ...or this many bits
   std::size_t max_trials = 100'000;  ///< ...or this many trials, hard stop
   std::string metric;                ///< "" = bit errors; else a success-flag metric
+  double target_rel_ci_width = 0.0;  ///< > 0: stop on relative CI width instead
 
   [[nodiscard]] bool operator==(const BerStop&) const = default;
 };
@@ -48,13 +62,22 @@ struct BerStop {
 [[nodiscard]] BerStop scale_stop(BerStop stop, std::size_t error_divisor,
                                  std::size_t bits_divisor);
 
-/// A measured BER point.
+/// A measured BER point. \p ci95 keeps its historical meaning (Wilson
+/// half-width for plain counts, normal half-width for weighted estimates);
+/// [ci_lo, ci_hi] is the full two-sided 95% interval computed by
+/// \p ci_method. Weighted (importance-sampled) points also report the
+/// effective sample size of their weight set.
 struct BerPoint {
   double ber = 0.0;
   double ci95 = 0.0;
   std::size_t bits = 0;
   std::size_t errors = 0;
   std::size_t trials = 0;
+  double ci_lo = 0.0;
+  double ci_hi = 1.0;
+  stats::CiMethod ci_method = stats::CiMethod::kClopperPearson;
+  bool weighted = false;
+  double ess = 0.0;  ///< effective sample size (trials when unweighted)
 };
 
 /// A fully measured grid point: the BER counters plus the reductions of

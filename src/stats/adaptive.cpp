@@ -1,0 +1,33 @@
+#include "stats/adaptive.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace uwb::stats {
+
+double relative_ci_width(double ber, double ci_halfwidth) {
+  if (ber <= 0.0) return std::numeric_limits<double>::infinity();
+  return ci_halfwidth / ber;
+}
+
+int pick_widest(const std::vector<AllocPoint>& points) {
+  int best = -1;
+  double best_width = -1.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].saturated) continue;
+    const double width = relative_ci_width(points[i].ber, points[i].ci_halfwidth);
+    if (width > best_width) {
+      best_width = width;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::size_t next_chunk(std::size_t current_trials, std::size_t remaining,
+                       std::size_t min_chunk) {
+  if (remaining == 0) return 0;
+  return std::min(remaining, std::max(current_trials, min_chunk));
+}
+
+}  // namespace uwb::stats

@@ -1,0 +1,185 @@
+#include "stats/binomial_ci.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace uwb::stats {
+
+std::string to_string(CiMethod method) {
+  switch (method) {
+    case CiMethod::kWilson: return "wilson";
+    case CiMethod::kClopperPearson: return "clopper_pearson";
+    case CiMethod::kNormalWeighted: return "normal_weighted";
+  }
+  return "?";
+}
+
+CiMethod ci_method_from_name(const std::string& name) {
+  if (name == "wilson") return CiMethod::kWilson;
+  if (name == "clopper_pearson") return CiMethod::kClopperPearson;
+  if (name == "normal_weighted") return CiMethod::kNormalWeighted;
+  throw InvalidArgument("unknown CI method '" + name +
+                      "' (expected wilson | clopper_pearson | normal_weighted)");
+}
+
+double normal_quantile(double p) {
+  detail::require(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement against the CDF brings the error below 1e-9.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+namespace {
+
+/// log Beta(a, b) via lgamma.
+double log_beta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+/// Continued fraction for I_x(a, b) (modified Lentz). Valid and fast for
+/// x < (a + 1) / (a + b + 2); callers use the symmetry otherwise.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-14;
+  constexpr double kTiny = 1e-300;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((a + m2 - 1.0) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (a + b + m) * x / ((a + m2) * (a + m2 + 1.0));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Inverse of I_x(a, b) in x by bisection (64 iterations: ~2e-20 interval,
+/// more than double precision). Monotone, so bisection is bulletproof.
+double inc_beta_inv(double a, double b, double p) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  detail::require(a > 0.0 && b > 0.0, "regularized_incomplete_beta: a, b must be > 0");
+  detail::require(x >= 0.0 && x <= 1.0, "regularized_incomplete_beta: x must be in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - log_beta(a, b)) / a;
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x);
+  }
+  const double front_sym =
+      std::exp(b * std::log(1.0 - x) + a * std::log(x) - log_beta(b, a)) / b;
+  return 1.0 - front_sym * beta_cf(b, a, 1.0 - x);
+}
+
+Interval clopper_pearson(std::size_t k, std::size_t n, double confidence) {
+  detail::require(k <= n, "clopper_pearson: k must be <= n");
+  detail::require(confidence > 0.0 && confidence < 1.0,
+                  "clopper_pearson: confidence must be in (0, 1)");
+  if (n == 0) return {0.0, 1.0};
+  const double alpha = 1.0 - confidence;
+  const auto kd = static_cast<double>(k);
+  const auto nd = static_cast<double>(n);
+  Interval ci;
+  // Closed forms at the boundaries (Beta with a unit parameter).
+  ci.lo = k == 0 ? 0.0 : inc_beta_inv(kd, nd - kd + 1.0, alpha / 2.0);
+  ci.hi = k == n ? 1.0 : inc_beta_inv(kd + 1.0, nd - kd, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+Interval wilson(std::size_t k, std::size_t n, double confidence) {
+  detail::require(k <= n, "wilson: k must be <= n");
+  detail::require(confidence > 0.0 && confidence < 1.0,
+                  "wilson: confidence must be in (0, 1)");
+  if (n == 0) return {0.0, 1.0};
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const auto nd = static_cast<double>(n);
+  const double p = static_cast<double>(k) / nd;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nd;
+  const double center = (p + z2 / (2.0 * nd)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nd + z2 / (4.0 * nd * nd)) / denom;
+  Interval ci;
+  ci.lo = std::max(0.0, center - half);
+  ci.hi = std::min(1.0, center + half);
+  return ci;
+}
+
+Interval binomial_interval(CiMethod method, std::size_t k, std::size_t n,
+                           double confidence) {
+  switch (method) {
+    case CiMethod::kWilson: return wilson(k, n, confidence);
+    case CiMethod::kClopperPearson: return clopper_pearson(k, n, confidence);
+    case CiMethod::kNormalWeighted: break;
+  }
+  throw InvalidArgument(
+      "binomial_interval: normal_weighted needs weight sums, not counts "
+      "(see stats::WeightedBer)");
+}
+
+}  // namespace uwb::stats

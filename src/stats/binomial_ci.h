@@ -1,0 +1,54 @@
+#pragma once
+/// \file binomial_ci.h
+/// \brief Binomial proportion confidence intervals for BER estimation: the
+///        exact Clopper-Pearson interval (via the regularized incomplete
+///        beta function), the Wilson score interval (cheap, closed-form --
+///        what stop rules poll every commit), and the normal interval the
+///        weighted importance-sampling estimator reports.
+
+#include <cstddef>
+#include <string>
+
+namespace uwb::stats {
+
+/// A two-sided confidence interval on a proportion, clamped to [0, 1].
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] double halfwidth() const noexcept { return 0.5 * (hi - lo); }
+};
+
+/// Which interval a measured point reports. kNormalWeighted is not a
+/// binomial method -- it is what weighted (importance-sampled) estimates
+/// carry, recorded here so the result doc names one vocabulary.
+enum class CiMethod { kWilson, kClopperPearson, kNormalWeighted };
+
+[[nodiscard]] std::string to_string(CiMethod method);
+
+/// Parses a method name ("wilson" | "clopper_pearson" | "normal_weighted").
+/// Throws on anything else -- a typo'd method must not silently select one.
+[[nodiscard]] CiMethod ci_method_from_name(const std::string& name);
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// refined with one Halley step -- |error| < 1e-9 over (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Lentz), a, b > 0, x in [0, 1].
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
+/// Exact Clopper-Pearson interval for k successes in n trials at the given
+/// two-sided confidence (e.g. 0.95). n == 0 returns the vacuous [0, 1].
+[[nodiscard]] Interval clopper_pearson(std::size_t k, std::size_t n,
+                                       double confidence = 0.95);
+
+/// Wilson score interval for k successes in n trials.
+[[nodiscard]] Interval wilson(std::size_t k, std::size_t n, double confidence = 0.95);
+
+/// Dispatch on \p method (kNormalWeighted is rejected: weighted intervals
+/// need the weight sums, not just counts -- see WeightedBer::interval).
+[[nodiscard]] Interval binomial_interval(CiMethod method, std::size_t k, std::size_t n,
+                                         double confidence = 0.95);
+
+}  // namespace uwb::stats

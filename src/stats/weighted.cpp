@@ -1,0 +1,49 @@
+#include "stats/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwb::stats {
+
+void WeightedBer::add(double weight, std::size_t errors, std::size_t trial_bits) noexcept {
+  trials += 1;
+  bits += trial_bits;
+  raw_errors += errors;
+  const double we = weight * static_cast<double>(errors);
+  w_sum += weight;
+  w_sq_sum += weight * weight;
+  we_sum += we;
+  we_sq_sum += we * we;
+}
+
+double WeightedBer::ber() const noexcept {
+  if (bits == 0) return 0.0;
+  return we_sum / static_cast<double>(bits);
+}
+
+double WeightedBer::ess() const noexcept {
+  if (w_sq_sum <= 0.0) return 0.0;
+  return w_sum * w_sum / w_sq_sum;
+}
+
+double WeightedBer::halfwidth(double confidence) const {
+  if (trials < 2 || bits == 0) return bits == 0 ? 1.0 : 0.5;
+  const auto m = static_cast<double>(trials);
+  // Sample variance of y_i = w_i * e_i; Var(sum y) = m * s_y^2.
+  double s2 = (we_sq_sum - we_sum * we_sum / m) / (m - 1.0);
+  s2 = std::max(0.0, s2);  // guard round-off
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  return z * std::sqrt(m * s2) / static_cast<double>(bits);
+}
+
+Interval WeightedBer::interval(double confidence) const {
+  if (trials < 2 || bits == 0) return {0.0, 1.0};
+  const double p = ber();
+  const double h = halfwidth(confidence);
+  Interval ci;
+  ci.lo = std::max(0.0, p - h);
+  ci.hi = std::min(1.0, p + h);
+  return ci;
+}
+
+}  // namespace uwb::stats

@@ -1,0 +1,46 @@
+#pragma once
+/// \file weighted.h
+/// \brief Weighted BER accumulator for importance-sampled trials: weighted
+///        error sums, a sample-variance-based normal interval, and the
+///        effective-sample-size diagnostic. Accumulation is plain addition
+///        of per-trial terms, so committing trials in index order keeps the
+///        totals byte-identical for any worker count.
+
+#include <cstddef>
+
+#include "stats/binomial_ci.h"
+
+namespace uwb::stats {
+
+/// Accumulates weighted per-trial error counts. The estimate is
+///   ber = sum_i(w_i * e_i) / sum_i(bits_i)
+/// where trial i contributed e_i raw errors over bits_i measured bits with
+/// likelihood weight w_i (plain trials are w = 1). The variance estimate
+/// treats y_i = w_i * e_i as i.i.d. samples -- exact for equal per-trial
+/// bits, conservative otherwise.
+struct WeightedBer {
+  std::size_t trials = 0;
+  std::size_t bits = 0;        ///< unweighted denominator
+  std::size_t raw_errors = 0;  ///< unweighted error count (diagnostic)
+  double w_sum = 0.0;          ///< sum of weights
+  double w_sq_sum = 0.0;       ///< sum of squared weights
+  double we_sum = 0.0;         ///< sum of w * errors
+  double we_sq_sum = 0.0;      ///< sum of (w * errors)^2
+
+  void add(double weight, std::size_t errors, std::size_t trial_bits) noexcept;
+
+  [[nodiscard]] double ber() const noexcept;
+
+  /// Kish effective sample size (sum w)^2 / (sum w^2): how many plain
+  /// trials the weighted set is worth. 0 when empty.
+  [[nodiscard]] double ess() const noexcept;
+
+  /// Half-width of the normal interval on the BER estimate.
+  [[nodiscard]] double halfwidth(double confidence = 0.95) const;
+
+  /// Normal interval, clamped to [0, 1]. Degenerate inputs (< 2 trials,
+  /// no bits) return the vacuous [0, 1].
+  [[nodiscard]] Interval interval(double confidence = 0.95) const;
+};
+
+}  // namespace uwb::stats

@@ -48,6 +48,14 @@ void require_supported(const LinkCaps& caps, const TrialOptions& options) {
     detail::require(options.channel_source.ensemble_count >= 1,
                     "ensemble channel source needs ensemble_count >= 1");
   }
+  if (options.sampling.active()) {
+    stats::validate(options.sampling);
+    detail::require(options.kind == TrialKind::kPacket,
+                    "sampling policy applies to packet trials only");
+    detail::require(!options.fec.has_value(),
+                    "sampling policy is incompatible with an outer FEC "
+                    "(the target-bit estimator needs uncoded payload bits)");
+  }
   // A spec can only ask for metrics this trial kind actually emits --
   // recording a never-emitted metric would silently produce empty columns.
   for (const std::string& name : options.record_metrics) {
@@ -79,6 +87,85 @@ const channel::Cir* ensemble_channel_or_throw(const TrialOptions& options,
                   "(run through engine::SweepEngine, or resolve one via "
                   "engine::ChannelCache and pass it explicitly)");
   return nullptr;
+}
+
+/// The per-trial bias an importance-sampled trial must use. Loud when the
+/// harness forgot to resolve one: running unbiased trials while reporting
+/// importance weights would silently corrupt the estimate (same shape as
+/// ensemble_channel_or_throw above).
+double sampling_scale_or_throw(const TrialOptions& options, const TrialContext& context) {
+  (void)options;
+  detail::require(context.sampling_resolved,
+                  "options.sampling is active but TrialContext carries no resolved bias "
+                  "(run through engine::SweepEngine, or set noise_scale / sampling_trial "
+                  "/ sampling_resolved on the context explicitly)");
+  detail::require(context.noise_scale >= 1.0, "TrialContext: noise_scale must be >= 1");
+  return context.noise_scale;
+}
+
+double real_dot(double a, double b) { return a * b; }
+double real_dot(const cplx& a, const cplx& b) {
+  return a.real() * b.real() + a.imag() * b.imag();  // Re(a * conj(b))
+}
+
+/// The one-dimensional subspace the noise tilt rides along: the target
+/// bit's received-signal direction (unit energy) and where it lands in the
+/// rx waveform. usable is false on a zero-energy span (e.g. the bit's whole
+/// contribution fell off the end of the wave): the trial then runs at the
+/// nominal distribution with weight exactly 1.
+template <typename T>
+struct TiltDirection {
+  std::vector<T> unit;
+  std::size_t offset = 0;
+  bool usable = false;
+};
+
+template <typename T>
+TiltDirection<T> make_tilt_direction(std::vector<T> shape, std::size_t offset,
+                                     std::size_t wave_size) {
+  TiltDirection<T> dir;
+  if (offset >= wave_size) return dir;
+  if (shape.size() > wave_size - offset) shape.resize(wave_size - offset);
+  double energy = 0.0;
+  for (const T& s : shape) energy += real_dot(s, s);
+  if (!(energy > 0.0)) return dir;
+  const double inv = 1.0 / std::sqrt(energy);
+  for (T& s : shape) s *= inv;
+  dir.unit = std::move(shape);
+  dir.offset = offset;
+  dir.usable = true;
+  return dir;
+}
+
+/// Adds the extra directional noise on top of the nominal AWGN draw and
+/// returns the trial's log-likelihood ratio. \p clean is the pre-AWGN
+/// snapshot of the direction's span, so wave - clean along the direction is
+/// exactly the noise the weight must account for. The weight is the
+/// balance heuristic over the policy's whole ladder (see
+/// stats::mixture_log_weight): every rung -- including the untilted 1.0
+/// rung -- reports the same weight function of z, which keeps weights
+/// bounded by the rung count and keeps error mechanisms outside the tilt
+/// direction measurable. Always consumes one Gaussian draw so the trial's
+/// draw count does not depend on the scale or on channel luck.
+template <typename T>
+double apply_noise_tilt(Waveform<T>& wave, const std::vector<T>& clean,
+                        const TiltDirection<T>& dir, double sigma2,
+                        const stats::SamplingPolicy& policy, double scale, Rng& rng) {
+  if (!dir.usable) {
+    rng.gaussian(0.0, 0.0);
+    return 0.0;
+  }
+  double z = 0.0;
+  for (std::size_t i = 0; i < dir.unit.size(); ++i) {
+    z += real_dot(wave[dir.offset + i] - clean[i], dir.unit[i]);
+  }
+  const double extra = rng.gaussian(0.0, stats::tilt_extra_stddev(sigma2, scale));
+  if (extra != 0.0) {
+    for (std::size_t i = 0; i < dir.unit.size(); ++i) {
+      wave[dir.offset + i] += extra * dir.unit[i];
+    }
+  }
+  return stats::mixture_log_weight(z + extra, sigma2, stats::sampling_ladder(policy));
 }
 
 }  // namespace
@@ -150,9 +237,11 @@ std::vector<std::string> trial_metric_names(Generation gen, TrialKind kind) {
     return {metric_names::kAcquired, metric_names::kTimingCorrect,
             metric_names::kSyncTime};
   }
-  if (gen == Generation::kGen1) return {metric_names::kAcquired};
-  return {metric_names::kAcquired, metric_names::kRakeEnergyCapture,
-          metric_names::kSnrEstimate};
+  if (gen == Generation::kGen1) return {metric_names::kAcquired, metric_names::kIsLlr};
+  return {metric_names::kAcquired,          metric_names::kRakeEnergyCapture,
+          metric_names::kSnrEstimate,       metric_names::kInterfererDetected,
+          metric_names::kInterfererPom,     metric_names::kInterfererFreqErr,
+          metric_names::kIsLlr};
 }
 
 bool emits_metric(Generation gen, TrialKind kind, const std::string& name) {
@@ -192,6 +281,21 @@ TrialResult Gen2Link::run_packet(const TrialOptions& options, Rng& rng,
   out.set_metric(metric_names::kAcquired, trial.rx.acquired ? 1.0 : 0.0);
   out.set_metric(metric_names::kRakeEnergyCapture, trial.rx.rake_energy_capture);
   out.set_metric(metric_names::kSnrEstimate, trial.rx.snr_estimate_db);
+  if (options.run_spectral_monitor) {
+    out.set_metric(metric_names::kInterfererDetected,
+                   trial.rx.interferer.detected ? 1.0 : 0.0);
+    out.set_metric(metric_names::kInterfererPom,
+                   trial.rx.interferer.peak_over_median_db);
+    // A frequency error only means something when there was a tone to find
+    // and the monitor claimed to find it (mean over the detected subset,
+    // same convention as sync_time_s).
+    if (options.interferer && trial.rx.interferer.detected) {
+      out.set_metric(metric_names::kInterfererFreqErr,
+                     std::abs(trial.rx.interferer.frequency_hz -
+                              options.interferer_freq_hz));
+    }
+  }
+  if (trial.weighted) out.set_metric(metric_names::kIsLlr, trial.is_llr);
   return out;
 }
 
@@ -234,6 +338,34 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
   // Tail pad so late fingers stay in range.
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
+  // Importance sampling: isolate the target payload bit's received-signal
+  // direction (the prototype pulse through the same channel realization,
+  // landed where the bit's symbol starts) before any noise is drawn. The
+  // target bit is stratified by the global trial index, so the choice is
+  // independent of worker count and shard layout.
+  const bool tilt_active = options.sampling.active();
+  std::size_t target_bit = 0;
+  TiltDirection<cplx> tilt;
+  if (tilt_active) {
+    detail::require(config_.modulation == phy::Modulation::kBpsk,
+                    "Gen2Link: sampling policy requires BPSK payload modulation");
+    detail::require(!options.fec.has_value(),
+                    "Gen2Link: sampling policy is incompatible with an outer FEC");
+    (void)sampling_scale_or_throw(options, context);
+    target_bit = context.sampling_trial % frame.payload.size();
+    const RealWaveform& proto = tx_.prototype();
+    CplxVec shape(proto.size());
+    for (std::size_t i = 0; i < proto.size(); ++i) shape[i] = cplx(proto[i], 0.0);
+    if (options.cm >= 1) {
+      const CplxWaveform filtered =
+          trial.true_channel.apply(CplxWaveform(std::move(shape), config_.analog_fs));
+      shape = filtered.samples();
+    }
+    const std::size_t bit_offset =
+        delay + (frame.overhead_symbols + target_bit) * frame.samples_per_bit;
+    tilt = make_tilt_direction<cplx>(std::move(shape), bit_offset, rx_wave.size());
+  }
+
   // Interference.
   const double signal_power = rx_wave.power();
   if (options.interferer) {
@@ -241,9 +373,25 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
                                options.interferer_sir_db, rng);
   }
 
-  // AWGN at the requested Eb/N0.
+  // AWGN at the requested Eb/N0, tilted along the target bit's direction
+  // when a sampling policy is active (variance n0/2 per rail -> the tilt's
+  // sigma2; z in the weight is the realized noise along the direction).
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng);
+  double log_weight = 0.0;
+  {
+    CplxVec clean;
+    if (tilt_active && tilt.usable) {
+      const auto first = static_cast<std::ptrdiff_t>(tilt.offset);
+      clean.assign(rx_wave.samples().begin() + first,
+                   rx_wave.samples().begin() + first +
+                       static_cast<std::ptrdiff_t>(tilt.unit.size()));
+    }
+    channel::add_awgn(rx_wave, n0, rng);
+    if (tilt_active) {
+      log_weight = apply_noise_tilt(rx_wave, clean, tilt, 0.5 * n0, options.sampling,
+                                    context.noise_scale, rng);
+    }
+  }
 
   // Receive. Coded trials bypass the MLSE hard path so the decoder gets
   // the RAKE's soft stream.
@@ -289,6 +437,23 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
     // A lost packet counts every bit as errored (PER-style accounting).
     trial.bits = options.fec.has_value() ? info.size() : frame.body_bits;
     trial.errors = trial.bits;
+  }
+
+  if (tilt_active) {
+    // Weighted accounting: the trial measures its one target bit (the
+    // others saw a biased-but-unweighted draw only through the tilt's
+    // leakage into their matched filters, which the 1-D construction keeps
+    // exactly zero-mean). A lost packet errors the target bit too.
+    trial.weighted = true;
+    trial.is_llr = log_weight;
+    std::size_t err = 1;
+    if (trial.rx.acquired && target_bit < trial.rx.payload.size()) {
+      const std::size_t body_start = frame.frame_bits.size() - frame.body_bits;
+      const bool tx_bit = frame.frame_bits[body_start + target_bit] != 0;
+      err = ((trial.rx.payload[target_bit] != 0) != tx_bit) ? 1 : 0;
+    }
+    trial.bits = 1;
+    trial.errors = err;
   }
   return trial;
 }
@@ -348,6 +513,7 @@ TrialResult Gen1Link::run_packet(const TrialOptions& options, Rng& rng,
   out.errors = trial.errors;
   out.set_metric(metric_names::kAcquired,
                  (options.genie_timing || trial.rx.acq.acquired) ? 1.0 : 0.0);
+  if (trial.weighted) out.set_metric(metric_names::kIsLlr, trial.is_llr);
   return out;
 }
 
@@ -367,11 +533,56 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
   }
   trial.true_offset_adc = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options, context, nullptr, rng);
+  channel::Cir cir = channel::identity_cir();
+  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options, context, &cir, rng);
   rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
 
+  // Importance sampling: the target data bit's received contribution is
+  // its pulses_per_bit spread-scrambled pulses through the same channel
+  // realization, landed after the preamble and the start delay.
+  const bool tilt_active = options.sampling.active();
+  std::size_t target_bit = 0;
+  TiltDirection<double> tilt;
+  if (tilt_active) {
+    (void)sampling_scale_or_throw(options, context);
+    target_bit = context.sampling_trial % frame.frame_bits.size();
+    const RealWaveform& proto = tx_.prototype();
+    const std::vector<double>& spread = tx_.spread_chips();
+    const std::size_t frame_samples = config_.frame_samples_analog();
+    const auto ppb = static_cast<std::size_t>(config_.pulses_per_bit);
+    std::vector<double> shape((ppb - 1) * frame_samples + proto.size(), 0.0);
+    for (std::size_t k = 0; k < ppb; ++k) {
+      const double chip = spread[k % spread.size()];
+      for (std::size_t i = 0; i < proto.size(); ++i) {
+        shape[k * frame_samples + i] += chip * proto[i];
+      }
+    }
+    if (options.cm >= 1) {
+      const RealWaveform filtered =
+          cir.apply_real(RealWaveform(std::move(shape), config_.analog_fs));
+      shape = filtered.samples();
+    }
+    const std::size_t bit_offset =
+        (delay_frames + tx_.preamble_frames() + target_bit * ppb) * frame_samples;
+    tilt = make_tilt_direction<double>(std::move(shape), bit_offset, rx_wave.size());
+  }
+
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng);
+  double log_weight = 0.0;
+  {
+    std::vector<double> clean;
+    if (tilt_active && tilt.usable) {
+      const auto first = static_cast<std::ptrdiff_t>(tilt.offset);
+      clean.assign(rx_wave.samples().begin() + first,
+                   rx_wave.samples().begin() + first +
+                       static_cast<std::ptrdiff_t>(tilt.unit.size()));
+    }
+    channel::add_awgn(rx_wave, n0, rng);
+    if (tilt_active) {
+      log_weight = apply_noise_tilt(rx_wave, clean, tilt, 0.5 * n0, options.sampling,
+                                    context.noise_scale, rng);
+    }
+  }
 
   Gen1RxOptions rx_opts;
   rx_opts.genie_timing = options.genie_timing;
@@ -382,6 +593,19 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
   if (!options.genie_timing && !trial.rx.acq.acquired) {
     trial.bits = frame.frame_bits.size();
     trial.errors = frame.frame_bits.size();
+  }
+
+  if (tilt_active) {
+    trial.weighted = true;
+    trial.is_llr = log_weight;
+    std::size_t err = 1;  // lost packet: the target bit errored with the rest
+    if ((options.genie_timing || trial.rx.acq.acquired) &&
+        target_bit < trial.rx.data_bits.size()) {
+      const bool tx_bit = frame.frame_bits[target_bit] != 0;
+      err = ((trial.rx.data_bits[target_bit] != 0) != tx_bit) ? 1 : 0;
+    }
+    trial.bits = 1;
+    trial.errors = err;
   }
   return trial;
 }

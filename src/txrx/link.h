@@ -22,6 +22,7 @@
 #include "channel/saleh_valenzuela.h"
 #include "common/rng.h"
 #include "fec/convolutional.h"
+#include "stats/sampling.h"
 #include "txrx/receiver_gen1.h"
 #include "txrx/receiver_gen2.h"
 #include "txrx/transceiver_config.h"
@@ -62,10 +63,18 @@ struct ChannelSource {
 };
 
 /// Runtime-only companion to TrialOptions: state resolved per trial by the
-/// harness, never serialized. Today that is the ensemble realization the
-/// trial must use (null = draw fresh, the default).
+/// harness, never serialized: the ensemble realization the trial must use
+/// (null = draw fresh, the default) and -- when the spec carries an active
+/// stats::SamplingPolicy -- the resolved importance-sampling bias. Links
+/// throw when options ask for sampling but no harness resolved the bias
+/// (sampling_resolved stays false): running such a trial unweighted would
+/// silently be a different experiment. The sweep engine resolves both as
+/// pure functions of the spec and the global trial index.
 struct TrialContext {
   const channel::Cir* channel = nullptr;
+  double noise_scale = 1.0;       ///< tilt scale for this trial (>= 1)
+  std::size_t sampling_trial = 0; ///< global trial index (stratifies the target bit)
+  bool sampling_resolved = false; ///< harness filled the two fields above
 };
 
 /// The S-V parameter set an ensemble-mode trial keys its ensemble on: the
@@ -94,6 +103,16 @@ inline constexpr const char* kTimingCorrect = "timing_correct";          ///< 0/
 inline constexpr const char* kSyncTime = "sync_time_s";                  ///< detected trials only
 inline constexpr const char* kRakeEnergyCapture = "rake_energy_capture"; ///< gen-2
 inline constexpr const char* kSnrEstimate = "snr_estimate_db";           ///< gen-2
+/// Importance sampling: the trial's log-likelihood ratio (emitted only
+/// when the spec's SamplingPolicy is active; the engine folds it into the
+/// weighted BER estimate).
+inline constexpr const char* kIsLlr = "is_llr";
+/// Spectral monitor verdict, 0/1 (gen-2 packet trials that ran the monitor).
+inline constexpr const char* kInterfererDetected = "interferer_detected";
+/// Monitor peak-over-median (dB); emitted whenever the monitor ran.
+inline constexpr const char* kInterfererPom = "interferer_peak_over_median_db";
+/// |estimated - true| CW frequency error (Hz); detected interferer trials only.
+inline constexpr const char* kInterfererFreqErr = "interferer_freq_err_hz";
 }  // namespace metric_names
 
 /// Channel/impairment options for one packet trial, shared by both
@@ -140,6 +159,14 @@ struct TrialOptions {
   /// options.ebn0_db a rate-1/2 coded trial spends 3 dB more energy per
   /// information bit.
   std::optional<fec::ConvCode> fec;
+
+  /// Rare-event importance sampling (stats/sampling.h). When active, each
+  /// trial targets one payload bit (stratified by trial index), scales the
+  /// noise along that bit's received-waveform direction, and reports the
+  /// target bit's error (bits = 1) plus the log-likelihood ratio as the
+  /// is_llr metric. Packet trials only; incompatible with fec, and gen-2
+  /// requires BPSK payload modulation.
+  stats::SamplingPolicy sampling;
 };
 
 /// Canonical per-generation defaults: gen-2 returns TrialOptions{}; gen-1
@@ -289,12 +316,16 @@ void validate_spec(const LinkSpec& spec);
 ///         construction, not mid-sweep.
 [[nodiscard]] std::unique_ptr<Link> make_link(const LinkSpec& spec, uint64_t seed);
 
-/// One gen-2 packet's detailed outcome.
+/// One gen-2 packet's detailed outcome. Importance-sampled trials set
+/// \p weighted: bits/errors then cover the one target bit and is_llr
+/// carries the trial's log-likelihood ratio.
 struct Gen2TrialResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
   Gen2RxResult rx;
   channel::Cir true_channel;
+  double is_llr = 0.0;
+  bool weighted = false;
 };
 
 /// The Section-3 direct-conversion 100 Mbps link (receiver mismatch drawn
@@ -329,12 +360,15 @@ class Gen2Link final : public Link {
   Gen2Receiver rx_;
 };
 
-/// One gen-1 packet's detailed outcome.
+/// One gen-1 packet's detailed outcome. See Gen2TrialResult for the
+/// weighted (importance-sampled) trial accounting.
 struct Gen1TrialResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
   Gen1RxResult rx;
   std::size_t true_offset_adc = 0;  ///< actual preamble start at ADC rate
+  double is_llr = 0.0;
+  bool weighted = false;
 };
 
 /// The Section-2 baseband 193 kbps link. Same thread-safety contract as

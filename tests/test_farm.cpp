@@ -275,6 +275,35 @@ TEST(Verify, CatchesViolations) {
   EXPECT_FALSE(accounting.ok());
 }
 
+TEST(Verify, CiContainsChecksIntervalsAgainstValueOrOwnBer) {
+  io::ResultDoc doc = sample_doc();
+  for (io::ResultPoint& point : doc.points) {
+    point.ci_lo = "0.001";
+    point.ci_hi = "0.2";
+    point.ci_method = "clopper_pearson";
+  }
+  // Every point's interval brackets its own estimate...
+  EXPECT_TRUE(verify_result(doc, expectations("[{\"check\": \"ci_contains\"}]")).ok());
+  // ...and a fixed value can be asserted inside filtered intervals.
+  EXPECT_TRUE(verify_result(doc, expectations("[{\"check\": \"ci_contains\", "
+                                              "\"value\": 0.05, \"where\": "
+                                              "{\"channel\": \"CM1\"}}]"))
+                  .ok());
+  EXPECT_FALSE(
+      verify_result(doc, expectations("[{\"check\": \"ci_contains\", "
+                                      "\"value\": 0.9}]"))
+          .ok());
+
+  // An estimate outside its own interval is a broken estimator, caught.
+  doc.points[0].ber = "0.5";
+  EXPECT_FALSE(verify_result(doc, expectations("[{\"check\": \"ci_contains\"}]")).ok());
+
+  // Points without two-sided intervals (pre-CI documents) fail, not pass.
+  io::ResultDoc old_doc = sample_doc();
+  EXPECT_FALSE(
+      verify_result(old_doc, expectations("[{\"check\": \"ci_contains\"}]")).ok());
+}
+
 TEST(Verify, EmptySelectionAndMalformedExpectationsFailLoudly) {
   // A filter matching nothing is a stale expectation, not a pass.
   const VerifyReport empty = verify_result(

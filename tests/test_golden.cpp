@@ -1,0 +1,101 @@
+// Golden-digest regression net over the scenario registry: every builtin
+// scenario is run under a fixed tiny budget and fixed seed, and the byte
+// stream of its JSON result document is pinned as an FNV-1a digest. Any
+// change to scenario defaults, trial randomness, estimator accounting, or
+// result serialization shows up here as a digest mismatch -- cheap to
+// re-pin when intentional (the failure message prints the new digest),
+// loud when accidental. This complements the statistical tests, which by
+// design tolerate exactly the kind of small drift this net catches.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "engine/scenario_registry.h"
+#include "engine/sinks.h"
+#include "engine/sweep_engine.h"
+#include "farm/farm_state.h"
+
+namespace uwb {
+namespace {
+
+/// The pinned digests. Regenerate by running this test: each mismatch
+/// (or unpinned scenario) prints the "{name, 0x...}" line to paste here.
+const std::map<std::string, std::uint64_t>& pinned_digests() {
+  static const std::map<std::string, std::uint64_t> digests = {
+      {"gen1_acquisition", 0xfbbd379838d5045cULL},
+      {"gen1_sync", 0xac70559d82b1baf3ULL},
+      {"gen1_waterfall", 0x39e080bc2eb6862fULL},
+      {"gen2_adc_resolution", 0x26706ec01a1f337bULL},
+      {"gen2_backend_ladder", 0x48d784cc56958fffULL},
+      {"gen2_chanest_precision", 0xde846333f40a633dULL},
+      {"gen2_cm_grid", 0xcca047a5e17666a0ULL},
+      {"gen2_cm_grid_deep", 0x99784c4afb6dd524ULL},
+      {"gen2_interferer_notch", 0xbfd69c47604dc8a4ULL},
+      {"gen2_mlse_isi", 0x5f10d5a830aff464ULL},
+      {"gen2_mlse_memory", 0x2b90358851bde0a4ULL},
+      {"gen2_modulation", 0x9aa71e4a8f8f5fa0ULL},
+      {"gen2_pulse_shape", 0x36fbcbade24bba8dULL},
+      {"gen2_rake_fingers", 0x499fb8e2e97d23e4ULL},
+      {"gen2_spectral_monitor", 0x33dee236f90b04b1ULL},
+  };
+  return digests;
+}
+
+std::string run_scenario_json(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "golden_" + name + ".json";
+  engine::SweepConfig config;
+  config.seed = 0x601D;
+  config.workers = 2;  // parallel commit is deterministic; exercise it
+  config.stop.min_errors = 1;
+  config.stop.max_bits = 100'000;
+  config.stop.max_trials = 4;
+  engine::SweepEngine engine(config);
+  engine::JsonSink sink(path);
+  (void)engine.run(engine::ScenarioRegistry::global().make(name), {&sink});
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::remove(path.c_str());
+  std::remove((path + ".run.json").c_str());
+  return bytes.str();
+}
+
+TEST(GoldenScenarios, EveryBuiltinScenarioIsPinned) {
+  // A new scenario must come with a pinned digest; a removed one must
+  // drop its pin. Keeps the net total.
+  const auto names = engine::ScenarioRegistry::global().names();
+  EXPECT_EQ(names.size(), pinned_digests().size());
+  for (const auto& name : names) {
+    EXPECT_TRUE(pinned_digests().count(name))
+        << "unpinned scenario " << name << " -- run the digest test to get its pin";
+  }
+}
+
+class GoldenScenarioDigest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenScenarioDigest, TinyBudgetResultDocIsByteStable) {
+  const std::string name = GetParam();
+  const std::string doc = run_scenario_json(name);
+  ASSERT_FALSE(doc.empty()) << name << " produced no result document";
+  const std::uint64_t digest = farm::fnv1a_digest(doc);
+  const auto it = pinned_digests().find(name);
+  ASSERT_NE(it, pinned_digests().end())
+      << "unpinned scenario " << name << " -- pin as:\n"
+      << "      {\"" << name << "\", 0x" << std::hex << digest << "ULL},";
+  EXPECT_EQ(digest, it->second)
+      << "result bytes changed for " << name << " -- if intentional, re-pin as:\n"
+      << "      {\"" << name << "\", 0x" << std::hex << digest << "ULL},";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, GoldenScenarioDigest,
+    ::testing::ValuesIn(engine::ScenarioRegistry::global().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
+
+}  // namespace
+}  // namespace uwb

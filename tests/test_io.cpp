@@ -220,6 +220,47 @@ TEST(SpecIo, BerStopRoundTrip) {
             "timing_correct");
 }
 
+TEST(SpecIo, SamplingPolicyRoundTripAndStrictKeys) {
+  txrx::TrialOptions options;
+  options.sampling.mode = stats::SamplingMode::kAutoLadder;
+  options.sampling.max_scale = 5.5;
+  options.sampling.levels = 3;
+  txrx::TrialOptions back =
+      trial_options_from_json(parse_json(dump_json(to_json(options))));
+  EXPECT_EQ(back.sampling, options.sampling);
+
+  options.sampling.mode = stats::SamplingMode::kNoiseScale;
+  options.sampling.scale = 3.25;
+  back = trial_options_from_json(parse_json(dump_json(to_json(options))));
+  EXPECT_EQ(back.sampling, options.sampling);
+
+  // Plain Monte-Carlo is the terse default and is not serialized.
+  EXPECT_FALSE(trial_options_from_json(parse_json("{}")).sampling.active());
+  EXPECT_EQ(dump_json(to_json(txrx::TrialOptions{})).find("sampling"),
+            std::string::npos);
+
+  // A typo'd policy name or key must fail loudly, not run unweighted.
+  EXPECT_THROW((void)trial_options_from_json(
+                   parse_json(R"({"sampling": {"mode": "noise_scales"}})")),
+               InvalidArgument);
+  EXPECT_THROW((void)trial_options_from_json(
+                   parse_json(R"({"sampling": {"mode": "noise_scale", "scal": 4}})")),
+               InvalidArgument);
+}
+
+TEST(SpecIo, CiWidthStopRuleRoundTrip) {
+  sim::BerStop stop;
+  stop.min_errors = 5;
+  stop.max_bits = 100;
+  stop.max_trials = 10;
+  stop.target_rel_ci_width = 0.25;
+  EXPECT_EQ(ber_stop_from_json(parse_json(dump_json(to_json(stop)))), stop);
+  // Legacy documents without the field parse as plain error-budget rules.
+  EXPECT_EQ(ber_stop_from_json(parse_json(R"({"min_errors": 5})"))
+                .target_rel_ci_width,
+            0.0);
+}
+
 TEST(SpecIo, TrialKindAndRecordMetricsRoundTrip) {
   txrx::TrialOptions options = txrx::default_options(txrx::Generation::kGen1);
   options.kind = txrx::TrialKind::kAcquisition;
@@ -387,6 +428,56 @@ TEST(ResultIo, MetricsAndStopMetricRoundTripByteIdentical) {
   ASSERT_EQ(parsed.points.size(), 1u);
   EXPECT_EQ(parsed.points[0].metrics, point.metrics);
   EXPECT_EQ(write_result_json(parsed), text);
+}
+
+TEST(ResultIo, CiFieldsRoundTripByteIdentical) {
+  ResultDoc doc;
+  doc.scenario = "deep";
+  doc.seed = 11;
+  ResultPoint plain;
+  plain.index = 0;
+  plain.label = "AWGN | 12 | plain";
+  plain.ber = "1.2e-05";
+  plain.ci95 = "4e-06";
+  plain.ci_lo = "8.1e-06";
+  plain.ci_hi = "1.9e-05";
+  plain.ci_method = "clopper_pearson";
+  plain.errors = 9;
+  plain.bits = 750000;
+  plain.trials = 2500;
+  ResultPoint is = plain;
+  is.index = 1;
+  is.label = "AWGN | 12 | is";
+  is.weighted = true;
+  is.ci_method = "normal_weighted";
+  is.ess = "1743.2";
+  doc.points = {plain, is};
+
+  const std::string text = write_result_json(doc);
+  const ResultDoc parsed = parse_result_json(text);
+  ASSERT_EQ(parsed.points.size(), 2u);
+  EXPECT_EQ(parsed.points[0].ci_lo, "8.1e-06");
+  EXPECT_EQ(parsed.points[0].ci_method, "clopper_pearson");
+  EXPECT_FALSE(parsed.points[0].weighted);
+  EXPECT_TRUE(parsed.points[1].weighted);
+  EXPECT_EQ(parsed.points[1].ess, "1743.2");
+  EXPECT_EQ(write_result_json(parsed), text);
+}
+
+TEST(ResultIo, PreCiDocumentsRoundTripWithoutInventedFields) {
+  // A document written before the CI fields existed must parse and write
+  // back byte-identically -- absent fields stay absent.
+  const std::string old_doc =
+      "{\n  \"scenario\": \"legacy\",\n  \"seed\": 3,\n"
+      "  \"stop\": {\"min_errors\": 50, \"max_bits\": 2000000, \"max_trials\": 100000},\n"
+      "  \"points\": [\n"
+      "    {\"index\": 0, \"label\": \"p0\", \"tags\": {}, \"ber\": 0.01, "
+      "\"ci95\": 0.001, \"errors\": 10, \"bits\": 1000, \"trials\": 4}\n"
+      "  ]\n}\n";
+  const ResultDoc parsed = parse_result_json(old_doc);
+  EXPECT_TRUE(parsed.points[0].ci_lo.empty());
+  EXPECT_TRUE(parsed.points[0].ci_method.empty());
+  EXPECT_EQ(write_result_json(parsed), old_doc);
 }
 
 TEST(ResultIo, MergeRejectsStopMetricMismatch) {

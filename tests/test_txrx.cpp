@@ -345,16 +345,24 @@ TEST(UnifiedLink, MetricVocabularyMatchesCapsAndKind) {
   const auto gen2 = make_link(LinkSpec::for_gen2(sim::gen2_fast()), 3);
   EXPECT_EQ(gen1->caps().metric_names,
             (std::vector<std::string>{metric_names::kAcquired,
+                                      metric_names::kIsLlr,
                                       metric_names::kTimingCorrect,
                                       metric_names::kSyncTime}));
   EXPECT_EQ(gen2->caps().metric_names,
             (std::vector<std::string>{metric_names::kAcquired,
                                       metric_names::kRakeEnergyCapture,
-                                      metric_names::kSnrEstimate}));
+                                      metric_names::kSnrEstimate,
+                                      metric_names::kInterfererDetected,
+                                      metric_names::kInterfererPom,
+                                      metric_names::kInterfererFreqErr,
+                                      metric_names::kIsLlr}));
   EXPECT_EQ(trial_metric_names(Generation::kGen1, TrialKind::kPacket),
-            (std::vector<std::string>{metric_names::kAcquired}));
+            (std::vector<std::string>{metric_names::kAcquired,
+                                      metric_names::kIsLlr}));
   EXPECT_EQ(trial_metric_names(Generation::kGen1, TrialKind::kAcquisition),
-            gen1->caps().metric_names);
+            (std::vector<std::string>{metric_names::kAcquired,
+                                      metric_names::kTimingCorrect,
+                                      metric_names::kSyncTime}));
   EXPECT_EQ(trial_metric_names(Generation::kGen2, TrialKind::kPacket),
             gen2->caps().metric_names);
 

@@ -93,6 +93,16 @@ int usage(std::FILE* out) {
                "  --stop-metric M    count min-errors against failed trials of the\n"
                "                     named success-flag metric (e.g. timing_correct)\n"
                "                     instead of bit errors; every point must record M\n"
+               "  --stop-ci W        replace the error budget with a CI-width target:\n"
+               "                     a point stops once its 95%% CI half-width is at\n"
+               "                     most W x its BER estimate (max-bits/max-trials\n"
+               "                     stay as hard caps)\n"
+               "  --adaptive-budget N\n"
+               "                     after the base pass, spend up to N extra trials\n"
+               "                     on whichever point has the widest relative CI\n"
+               "                     (deterministic; incompatible with --shard)\n"
+               "  --ci-method M      two-sided interval for unweighted points:\n"
+               "                     clopper_pearson (default, exact) or wilson\n"
                "  --channel-ensemble N\n"
                "                     share one N-realization channel ensemble per CM\n"
                "                     profile instead of drawing fresh per trial\n"
@@ -147,6 +157,7 @@ struct Args {
   std::size_t channel_ensemble = 0;  ///< 0 = leave the spec's channel sources alone
   std::optional<std::uint64_t> channel_seed;
   std::string channel_cache_dir;
+  std::size_t adaptive_budget = 0;  ///< 0 = plain run (no adaptive top-up pass)
   engine::SweepConfig sweep;
 };
 
@@ -211,6 +222,13 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--max-trials")
       args.sweep.stop.max_trials = parse_u64(next(i, "--max-trials"), "--max-trials");
     else if (arg == "--stop-metric") args.sweep.stop.metric = next(i, "--stop-metric");
+    else if (arg == "--stop-ci")
+      args.sweep.stop.target_rel_ci_width =
+          parse_positive_double(next(i, "--stop-ci"), "--stop-ci");
+    else if (arg == "--adaptive-budget")
+      args.adaptive_budget = parse_u64(next(i, "--adaptive-budget"), "--adaptive-budget");
+    else if (arg == "--ci-method")
+      args.sweep.ci_method = stats::ci_method_from_name(next(i, "--ci-method"));
     else if (arg == "--out") args.out_path = next(i, "--out");
     else if (arg == "--dump-scenario") args.dump_scenario_path = next(i, "--dump-scenario");
     else if (arg == "--trace") args.trace_path = next(i, "--trace");
@@ -250,6 +268,9 @@ Args parse_args(int argc, char** argv) {
                   "--channel-seed needs --channel-ensemble");
   detail::require(!args.allow_partial || merging,
                   "--allow-partial only applies to --merge");
+  detail::require(args.adaptive_budget == 0 || args.sweep.shard_count == 1,
+                  "--adaptive-budget is incompatible with --shard (the allocator "
+                  "must see every point's CI)");
   detail::require(args.scenario.empty() || args.spec_file.empty(),
                   "give either a scenario name or --file, not both");
   return args;
@@ -435,7 +456,9 @@ int run_sweep(const Args& args, const engine::ScenarioSpec& scenario) {
   std::signal(SIGTERM, handle_cancel_signal);
 
   engine::SweepEngine engine(sweep_config);
-  const engine::SweepResult result = engine.run(scenario, sinks);
+  const engine::SweepResult result =
+      args.adaptive_budget > 0 ? engine.run_adaptive(scenario, args.adaptive_budget, sinks)
+                               : engine.run(scenario, sinks);
 
   if (trace.has_value()) {
     obs::write_chrome_trace(*trace, args.trace_path);
