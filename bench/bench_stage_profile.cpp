@@ -1,0 +1,189 @@
+// Stage-profile bench: where a link trial's time actually goes, per
+// pipeline stage, for gen-1 and gen-2 across AWGN/CM1/CM3 -- the numbers
+// behind docs/performance.md item 1 (gen-1 packet budget) and the
+// overhead claim in docs/observability.md. Results land in
+// bench/results/BENCH_stage_profile.json:
+//
+//   rows[]:      {gen, channel, trials, stages: [{stage, calls, total_ns,
+//                 mean_ns, samples, samples_per_s}]}
+//   overhead:    profile-on vs profile-off wall time of the gen-2 CM3
+//                trial loop (identical Rng streams), as a percentage.
+//
+// Trials replay deterministic Rng forks of a fixed root, so the profiled
+// packets are the same packets the hotpath bench times.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "io/json.h"
+#include "obs/profile.h"
+#include "sim/scenario.h"
+#include "txrx/link.h"
+
+namespace {
+
+using namespace uwb;
+
+struct ProfileRow {
+  std::string gen;
+  std::string channel;
+  std::size_t trials = 0;
+  obs::StageTable stages;
+};
+
+std::string channel_name(int cm) { return cm == 0 ? "AWGN" : "CM" + std::to_string(cm); }
+
+/// Builds the requested link with per-generation default trial options at
+/// 14 dB on channel \p cm (same operating point as bench_hotpath).
+struct Workload {
+  std::unique_ptr<txrx::Link> link;
+  txrx::TrialOptions options;
+};
+
+Workload make_workload(const std::string& gen, int cm, uint64_t seed) {
+  Workload w;
+  if (gen == "gen1") {
+    w.link = std::make_unique<txrx::Gen1Link>(sim::gen1_nominal(), seed);
+    w.options = txrx::default_options(txrx::Generation::kGen1);
+  } else {
+    w.link = std::make_unique<txrx::Gen2Link>(sim::gen2_nominal(), seed);
+  }
+  w.options.cm = cm;
+  w.options.ebn0_db = 14.0;
+  return w;
+}
+
+/// Runs \p trials deterministic packets; wall seconds out, profiler
+/// optionally active on this thread for the whole loop.
+double run_trials(Workload& w, std::size_t trials, uint64_t seed,
+                  obs::StageProfiler* profiler) {
+  const obs::ScopedStageProfile scope(profiler);
+  const Rng root(seed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng trial_rng = root.fork(i);
+    (void)w.link->run_packet(w.options, trial_rng);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+ProfileRow measure(const std::string& gen, int cm, std::size_t trials, uint64_t seed) {
+  Workload w = make_workload(gen, cm, seed);
+  obs::StageProfiler profiler;
+  (void)run_trials(w, trials, seed, &profiler);
+  return ProfileRow{gen, channel_name(cm), trials, profiler.merged()};
+}
+
+io::JsonValue row_to_json(const ProfileRow& row) {
+  io::JsonValue out = io::JsonValue::object();
+  out.set("gen", io::JsonValue::string(row.gen));
+  out.set("channel", io::JsonValue::string(row.channel));
+  out.set("trials", io::JsonValue::number(static_cast<std::uint64_t>(row.trials)));
+  io::JsonValue stages = io::JsonValue::array();
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const obs::Stage stage = static_cast<obs::Stage>(i);
+    const obs::StageStats& s = row.stages[stage];
+    if (s.calls == 0) continue;
+    const double rate =
+        s.total_ns > 0
+            ? static_cast<double>(s.samples) / (static_cast<double>(s.total_ns) / 1e9)
+            : 0.0;
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("stage", io::JsonValue::string(obs::stage_name(stage)));
+    entry.set("calls", io::JsonValue::number(s.calls));
+    entry.set("total_ns", io::JsonValue::number(s.total_ns));
+    entry.set("mean_ns", io::JsonValue::number(s.mean_ns()));
+    entry.set("samples", io::JsonValue::number(s.samples));
+    entry.set("samples_per_s", io::JsonValue::number(rate));
+    stages.push_back(std::move(entry));
+  }
+  out.set("stages", std::move(stages));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = 0x9F17;
+  bench::print_header("STAGE_PROFILE", "per-stage time attribution, gen-1 vs gen-2", seed);
+
+  const std::size_t gen2_trials = bench::fast_mode() ? 3 : 12;
+  const std::size_t gen1_trials = bench::fast_mode() ? 1 : 3;
+
+  std::vector<ProfileRow> rows;
+  for (const int cm : {0, 1, 3}) {
+    rows.push_back(measure("gen2", cm, gen2_trials, seed + static_cast<uint64_t>(cm)));
+    rows.push_back(
+        measure("gen1", cm, gen1_trials, seed + 16 + static_cast<uint64_t>(cm)));
+  }
+  for (const ProfileRow& row : rows) {
+    std::printf("%s %s (%zu trials):\n", row.gen.c_str(), row.channel.c_str(), row.trials);
+    obs::print_stage_table(row.stages, stdout);
+    std::printf("\n");
+  }
+
+  // Overhead of the profiler itself on the gen-2 CM3 hotpath: identical
+  // trial streams with and without an active profiler. One warmup pass
+  // first so FFT plans are hot.
+  const std::size_t overhead_trials = bench::fast_mode() ? 4 : 48;
+  const std::size_t overhead_reps = bench::fast_mode() ? 3 : 11;
+  const uint64_t overhead_seed = seed + 99;
+  Workload w = make_workload("gen2", 3, overhead_seed);
+  (void)run_trials(w, overhead_trials, overhead_seed, nullptr);
+  // Paired per-rep ratios, order swapped each rep, median across reps:
+  // adjacent-in-time pairs cancel clock/cache drift, the order swap
+  // cancels which-mode-runs-second bias, the median rejects outlier reps.
+  std::vector<double> pcts;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  for (std::size_t rep = 0; rep < overhead_reps; ++rep) {
+    obs::StageProfiler profiler;
+    double off = 0.0;
+    double on = 0.0;
+    if (rep % 2 == 0) {
+      off = run_trials(w, overhead_trials, overhead_seed, nullptr);
+      on = run_trials(w, overhead_trials, overhead_seed, &profiler);
+    } else {
+      on = run_trials(w, overhead_trials, overhead_seed, &profiler);
+      off = run_trials(w, overhead_trials, overhead_seed, nullptr);
+    }
+    pcts.push_back(off > 0.0 ? (on - off) / off * 100.0 : 0.0);
+    off_s += off;
+    on_s += on;
+  }
+  std::sort(pcts.begin(), pcts.end());
+  const double overhead_pct = pcts[pcts.size() / 2];
+  std::printf(
+      "profiler overhead (gen-2 CM3, %zu trials, median of %zu paired reps): "
+      "off %.3fs, on %.3fs total -> %+.2f%%\n",
+      overhead_trials, overhead_reps, off_s, on_s, overhead_pct);
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("bench", io::JsonValue::string("stage_profile"));
+  doc.set("fast_mode", io::JsonValue::boolean(bench::fast_mode()));
+  io::JsonValue json_rows = io::JsonValue::array();
+  for (const ProfileRow& row : rows) json_rows.push_back(row_to_json(row));
+  doc.set("rows", std::move(json_rows));
+  io::JsonValue overhead = io::JsonValue::object();
+  overhead.set("workload", io::JsonValue::string("gen2 CM3 14 dB"));
+  overhead.set("trials", io::JsonValue::number(static_cast<std::uint64_t>(overhead_trials)));
+  overhead.set("profile_off_s", io::JsonValue::number(off_s));
+  overhead.set("profile_on_s", io::JsonValue::number(on_s));
+  overhead.set("overhead_pct", io::JsonValue::number(overhead_pct));
+  doc.set("overhead", std::move(overhead));
+
+  const std::string path = "bench/results/BENCH_stage_profile.json";
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary);
+  out << io::dump_json_pretty(doc) << "\n";
+  std::printf("\n(results: %s)\n", path.c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/math_utils.h"
+#include "obs/profile.h"
 
 namespace uwb::dsp {
 
@@ -37,6 +38,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 }
 
 void FftPlan::run(cplx* x, bool inverse) const noexcept {
+  const obs::StageTimer timer(obs::Stage::kFftExec, n_);
   const std::size_t n = n_;
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t j = rev_[i];

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "engine/metric_accumulator.h"
+#include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 
@@ -76,6 +77,9 @@ sim::MeasuredPoint measure_point_parallel(const TrialFactory& factory,
   shared.active_workers = num_workers;
   for (std::size_t w = 0; w < num_workers; ++w) {
     pool.submit([&factory, &stop, &root, &shared, window_cap, hooks] {
+      // Stage profiling covers the whole task -- factory setup included --
+      // via the thread-local activation (see obs/profile.h).
+      const obs::ScopedStageProfile profile_scope(hooks.profile);
       const TrialFn trial = factory();
       // Trace chunking: consecutive executed trials fold into one span
       // (see kTraceChunkTrials). Telemetry only -- never touches Rng or

@@ -22,6 +22,7 @@
 namespace uwb::obs {
 class TraceRecorder;
 class ProgressMeter;
+class StageProfiler;
 }  // namespace uwb::obs
 
 namespace uwb::engine {
@@ -59,6 +60,11 @@ sim::MeasuredPoint measure_point_serial(
 struct PointHooks {
   obs::TraceRecorder* trace = nullptr;
   obs::ProgressMeter* progress = nullptr;
+
+  /// Stage profiler (see obs/profile.h). Each worker task activates it for
+  /// the task's lifetime, so StageTimer scopes inside txrx/dsp accumulate
+  /// into its per-thread tables. Observer-only, like the recorder.
+  obs::StageProfiler* profile = nullptr;
 
   /// Cooperative cancellation (e.g. set from a SIGINT handler): workers
   /// check it at the top of their claim loop and wind the point down

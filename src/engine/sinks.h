@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/scenario_registry.h"
+#include "obs/profile.h"
 #include "sim/ber_simulator.h"
 
 namespace uwb::engine {
@@ -33,6 +34,11 @@ struct PointRecord {
   sim::BerPoint ber;
   sim::MetricSet metrics;  ///< per-metric count/sum/sum_sq reductions
   double elapsed_s = 0.0;  ///< wall-clock for this point (console only)
+
+  /// Per-point stage profile (empty unless the sweep ran with a
+  /// StageProfiler). Observer data: file sinks never serialize it -- it
+  /// lands in the run manifest sidecar instead (obs/manifest.h).
+  obs::StageTable stages;
 };
 
 /// Interface. Methods are invoked from the sweep's calling thread, in plan

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "stats/adaptive.h"
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "txrx/link.h"
@@ -161,9 +162,10 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
   }
 
   const Rng sweep_root(config_.seed);
-  const PointHooks hooks{config_.trace, config_.progress, config_.cancel};
+  const PointHooks hooks{config_.trace, config_.progress, config_.profile, config_.cancel};
   std::uint64_t traced_trials = 0;
   std::uint64_t traced_errors = 0;
+  obs::StageTable traced_stage_totals;  // cumulative, for the counter track
 
   // Points run one after another; the pool parallelizes the trials inside
   // each point. That keeps sink delivery in plan order and makes every
@@ -198,6 +200,11 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
       cache_span.arg("seed", source.ensemble_seed);
       ensemble = cache.get(params, source.ensemble_seed, source.ensemble_count);
     }
+
+    // Per-point stage attribution: the workers' accumulators are zeroed
+    // here and merged after the measure returns (all workers quiesced), so
+    // each record carries this point's table alone.
+    if (config_.profile != nullptr) config_.profile->reset();
 
     const auto start = std::chrono::steady_clock::now();
     sim::MeasuredPoint measured = measure_point_parallel(
@@ -239,6 +246,21 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     record.ber = measured.ber;
     record.metrics = std::move(measured.metrics);
     record.elapsed_s = elapsed.count();
+    if (config_.profile != nullptr) {
+      record.stages = config_.profile->merged();
+      result.stages.merge(record.stages);
+      if (config_.trace != nullptr) {
+        // Cumulative per-stage totals as a Chrome counter track: the
+        // profile's time budget drawn across the sweep's timeline.
+        traced_stage_totals.merge(record.stages);
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+          const obs::StageStats& stage = traced_stage_totals.stages[s];
+          if (stage.calls == 0) continue;
+          config_.trace->counter("profile", obs::stage_name(static_cast<obs::Stage>(s)),
+                                 static_cast<double>(stage.total_ns) / 1e6);
+        }
+      }
+    }
     for (ResultSink* sink : sinks) sink->point(record);
     result.records.push_back(std::move(record));
   }
@@ -286,7 +308,7 @@ SweepResult SweepEngine::run_adaptive(const ScenarioSpec& scenario,
     const Rng sweep_root(config_.seed);
     // Top-ups run without the progress meter (its point counts were sized
     // for the base pass); the trace recorder still sees them.
-    const PointHooks hooks{config_.trace, nullptr, config_.cancel};
+    const PointHooks hooks{config_.trace, nullptr, config_.profile, config_.cancel};
 
     std::vector<stats::AllocPoint> alloc;
     alloc.reserve(result.records.size());
@@ -325,11 +347,20 @@ SweepResult SweepEngine::run_adaptive(const ScenarioSpec& scenario,
       }
 
       obs::Span span(config_.trace, "engine", "topup " + rec.spec.label);
+      if (config_.profile != nullptr) config_.profile->reset();
       const auto start = std::chrono::steady_clock::now();
       sim::MeasuredPoint measured = measure_point_parallel(
           make_trial_factory(rec.spec, link_seed, std::move(ensemble)), stop, trial_root,
           pool, hooks, config_.ci_method);
       span.finish();
+      if (config_.profile != nullptr) {
+        // A top-up replays the committed prefix then extends it; its stage
+        // work is real work this run did, so it accumulates on top of the
+        // base pass's table.
+        const obs::StageTable topup = config_.profile->merged();
+        rec.stages.merge(topup);
+        result.stages.merge(topup);
+      }
       if (hooks.cancelled()) {
         result.interrupted = true;
         break;

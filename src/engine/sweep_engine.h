@@ -39,6 +39,7 @@
 namespace uwb::obs {
 class TraceRecorder;
 class ProgressMeter;
+class StageProfiler;
 }  // namespace uwb::obs
 
 namespace uwb::engine {
@@ -74,6 +75,13 @@ struct SweepConfig {
   obs::TraceRecorder* trace = nullptr;
   obs::ProgressMeter* progress = nullptr;
 
+  /// Optional stage profiler (obs/profile.h): per-stage time/throughput
+  /// attribution inside the links and the dsp kernels. Reset before each
+  /// point, merged after it, so every PointRecord carries its own stage
+  /// table and SweepResult::stages the run total. Observer-only, same
+  /// byte-identity contract as trace/progress.
+  obs::StageProfiler* profile = nullptr;
+
   /// Cooperative cancellation (set from a SIGINT/SIGTERM handler): checked
   /// between points and inside the trial loop. The in-flight point is
   /// discarded -- a truncated point would not be deterministic -- so the
@@ -100,6 +108,10 @@ struct SweepResult {
   /// per-worker pool stats, channel-cache and FFT-plan-cache deltas, wall
   /// time.
   obs::RunCounters counters;
+
+  /// Run-total stage profile: the sum of every record's stage table (plus
+  /// adaptive top-up work). Empty unless config.profile was set.
+  obs::StageTable stages;
 
   /// First record whose tags contain every given (axis, value) pair, or
   /// nullptr. Benches use this to pair up points for derived columns.

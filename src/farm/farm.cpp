@@ -122,6 +122,13 @@ std::vector<std::string> worker_argv(const FarmSpec& spec, const RunPaths& paths
     argv.push_back("--channel-cache");
     argv.push_back(spec.channel_cache_dir);
   }
+  if (spec.progress) {
+    // JSON heartbeat lines land in the shard's log file, where `uwb_farm
+    // status` aggregates the latest one per live shard.
+    argv.push_back("--progress");
+    argv.push_back("--progress-format");
+    argv.push_back("json");
+  }
   argv.push_back("--quiet");
   argv.push_back("--out");
   argv.push_back(paths.shard_result(shard));

@@ -123,6 +123,7 @@ io::JsonValue farm_spec_to_json(const FarmSpec& spec) {
   doc.set("workers_per_shard",
           io::JsonValue::number(static_cast<std::uint64_t>(spec.workers_per_shard)));
   doc.set("channel_cache_dir", io::JsonValue::string(spec.channel_cache_dir));
+  doc.set("progress", io::JsonValue::boolean(spec.progress));
   doc.set("retry", retry_to_json(spec.retry));
   return doc;
 }
@@ -139,6 +140,7 @@ FarmSpec farm_spec_from_json(const io::JsonValue& v) {
     else if (key == "num_points") spec.num_points = as_size(val);
     else if (key == "workers_per_shard") spec.workers_per_shard = as_size(val);
     else if (key == "channel_cache_dir") spec.channel_cache_dir = val.as_string();
+    else if (key == "progress") spec.progress = val.as_bool();
     else if (key == "retry") spec.retry = retry_from_json(val);
     else unknown_key("spec", key);
   }

@@ -74,6 +74,11 @@ struct FarmSpec {
   std::size_t num_points = 0;      ///< points in the expanded plan
   std::size_t workers_per_shard = 0;  ///< uwb_sweep --workers (0 = default)
   std::string channel_cache_dir;   ///< worker --channel-cache ("" = none)
+  /// Workers run with `--progress --progress-format json`: their logs then
+  /// carry machine-readable heartbeat lines that `uwb_farm status`
+  /// aggregates into live per-shard progress. Journaled so resume keeps
+  /// streaming.
+  bool progress = false;
   RetryPolicy retry;
 
   [[nodiscard]] bool operator==(const FarmSpec&) const = default;

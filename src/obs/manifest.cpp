@@ -85,6 +85,8 @@ io::JsonValue manifest_to_json(const RunManifest& m) {
   }
   doc.set("counters", std::move(counters));
 
+  if (!m.stages.empty()) doc.set("stages", stage_table_to_json(m.stages));
+
   io::JsonValue points = io::JsonValue::array();
   for (const PointTiming& point : m.points) {
     io::JsonValue entry = io::JsonValue::object();
@@ -94,6 +96,7 @@ io::JsonValue manifest_to_json(const RunManifest& m) {
     entry.set("trials", io::JsonValue::number(point.trials));
     entry.set("bits", io::JsonValue::number(point.bits));
     entry.set("errors", io::JsonValue::number(point.errors));
+    if (!point.stages.empty()) entry.set("stages", stage_table_to_json(point.stages));
     points.push_back(std::move(entry));
   }
   doc.set("points", std::move(points));
@@ -148,6 +151,12 @@ RunManifest manifest_from_json(const io::JsonValue& doc) {
   detail::require(pool.at("workers").as_uint64() == m.counters.pool.size(),
                   "run manifest: pool.workers disagrees with per_worker length");
 
+  // Optional for manifests written before stage profiling existed (and for
+  // unprofiled runs, which omit the key).
+  if (const io::JsonValue* stages = doc.find("stages")) {
+    m.stages = stage_table_from_json(*stages);
+  }
+
   for (const io::JsonValue& entry : doc.at("points").items()) {
     PointTiming point;
     point.index = entry.at("index").as_uint64();
@@ -156,6 +165,9 @@ RunManifest manifest_from_json(const io::JsonValue& doc) {
     point.trials = entry.at("trials").as_uint64();
     point.bits = entry.at("bits").as_uint64();
     point.errors = entry.at("errors").as_uint64();
+    if (const io::JsonValue* stages = entry.find("stages")) {
+      point.stages = stage_table_from_json(*stages);
+    }
     m.points.push_back(std::move(point));
   }
   return m;

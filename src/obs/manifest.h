@@ -16,6 +16,7 @@
 
 #include "io/json.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "sim/ber_simulator.h"
 
 namespace uwb::obs {
@@ -40,6 +41,9 @@ struct PointTiming {
   std::uint64_t bits = 0;
   std::uint64_t errors = 0;
 
+  /// This point's stage profile (empty unless the run profiled).
+  StageTable stages;
+
   [[nodiscard]] bool operator==(const PointTiming&) const = default;
 };
 
@@ -60,6 +64,10 @@ struct RunManifest {
   bool interrupted = false;
   BuildInfo build;
   RunCounters counters;
+
+  /// Run-total stage profile (`--profile`); empty tables are omitted from
+  /// the document and parse back as empty, so old manifests stay readable.
+  StageTable stages;
   std::vector<PointTiming> points;
 };
 

@@ -1,0 +1,115 @@
+#include "obs/profile.h"
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace uwb::obs {
+
+namespace {
+
+constexpr const char* kStageNames[kStageCount] = {
+    "tx_modulate",    "channel_convolve", "rx_frontend", "adc_quantize",
+    "sync_acquire",   "correlate_rake",   "demod_decide", "fft_exec",
+};
+
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+
+/// Thread-local cache of the most recent (profiler, accumulator) pairing,
+/// so thread_accum() is two compares after the first registration. Same
+/// scheme as TraceRecorder's ThreadCache (obs/trace.cpp).
+struct ThreadCache {
+  std::uint64_t profiler_id = 0;
+  StageTable* accum = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+Stage stage_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (name == kStageNames[i]) return static_cast<Stage>(i);
+  }
+  throw InvalidArgument("unknown profiler stage name: " + name);
+}
+
+io::JsonValue stage_table_to_json(const StageTable& table) {
+  io::JsonValue rows = io::JsonValue::array();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageStats& s = table.stages[i];
+    if (s.calls == 0) continue;
+    io::JsonValue row = io::JsonValue::object();
+    row.set("stage", io::JsonValue::string(kStageNames[i]));
+    row.set("calls", io::JsonValue::number(s.calls));
+    row.set("total_ns", io::JsonValue::number(s.total_ns));
+    row.set("min_ns", io::JsonValue::number(s.min_ns));
+    row.set("max_ns", io::JsonValue::number(s.max_ns));
+    row.set("samples", io::JsonValue::number(s.samples));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+StageTable stage_table_from_json(const io::JsonValue& value) {
+  StageTable table;
+  for (const io::JsonValue& row : value.items()) {
+    const Stage stage = stage_from_name(row.at("stage").as_string());
+    StageStats& s = table[stage];
+    s.calls = row.at("calls").as_uint64();
+    s.total_ns = row.at("total_ns").as_uint64();
+    s.min_ns = row.at("min_ns").as_uint64();
+    s.max_ns = row.at("max_ns").as_uint64();
+    s.samples = row.at("samples").as_uint64();
+  }
+  return table;
+}
+
+void print_stage_table(const StageTable& table, std::FILE* out) {
+  std::fprintf(out, "%-18s %10s %12s %11s %11s %11s %12s\n", "stage", "calls",
+               "total_ms", "mean_us", "min_us", "max_us", "Msamples/s");
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageStats& s = table.stages[i];
+    if (s.calls == 0) continue;
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double rate =
+        s.total_ns > 0
+            ? static_cast<double>(s.samples) / (static_cast<double>(s.total_ns) / 1e9) / 1e6
+            : 0.0;
+    std::fprintf(out, "%-18s %10llu %12.3f %11.2f %11.2f %11.2f %12.2f\n",
+                 kStageNames[i], static_cast<unsigned long long>(s.calls),
+                 total_ms, s.mean_ns() / 1e3,
+                 static_cast<double>(s.min_ns) / 1e3,
+                 static_cast<double>(s.max_ns) / 1e3, rate);
+  }
+}
+
+StageProfiler::StageProfiler()
+    : id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+StageTable& StageProfiler::thread_accum() {
+  if (t_cache.profiler_id == id_) return *t_cache.accum;
+  std::lock_guard<std::mutex> lock(mutex_);
+  accums_.push_back(std::make_unique<StageTable>());
+  StageTable* accum = accums_.back().get();
+  t_cache = ThreadCache{id_, accum};
+  return *accum;
+}
+
+StageTable StageProfiler::merged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageTable out;
+  for (const auto& accum : accums_) out.merge(*accum);
+  return out;
+}
+
+void StageProfiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Zero contents in place: registered threads keep their cached pointers.
+  for (const auto& accum : accums_) *accum = StageTable{};
+}
+
+}  // namespace uwb::obs

@@ -16,6 +16,29 @@ std::string humanize(double v) {
   return buf;
 }
 
+/// Minimal JSON string escaping for point labels in heartbeat lines.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 ProgressMeter::ProgressMeter(Options options) : options_(options) {
@@ -36,8 +59,13 @@ void ProgressMeter::begin_run(std::size_t total_points) {
   start_ = std::chrono::steady_clock::now();
   last_tick_ = start_;
   last_trials_ = 0;
-  std::fprintf(out_, "[progress] sweep started: %zu point(s), heartbeat %.2gs\n",
-               total_points, options_.interval_s);
+  if (options_.format == Options::Format::kJson) {
+    std::fprintf(out_, "{\"progress\":\"start\",\"points_total\":%zu,\"interval_s\":%g}\n",
+                 total_points, options_.interval_s);
+  } else {
+    std::fprintf(out_, "[progress] sweep started: %zu point(s), heartbeat %.2gs\n",
+                 total_points, options_.interval_s);
+  }
   std::fflush(out_);
   thread_ = std::thread([this] { heartbeat_loop(); });
 }
@@ -84,12 +112,22 @@ void ProgressMeter::print_line(bool final_line) {
     label = label_;
   }
 
+  const bool json = options_.format == Options::Format::kJson;
+
   if (final_line) {
-    std::fprintf(out_,
-                 "[progress] done: %zu/%zu points | %" PRIu64 " trials | %" PRIu64
-                 " errors | %.1fs (%s trials/s)\n",
-                 done, total, trials, errors,
-                 elapsed, humanize(elapsed > 0 ? static_cast<double>(trials) / elapsed : 0).c_str());
+    const double avg_rate = elapsed > 0 ? static_cast<double>(trials) / elapsed : 0.0;
+    if (json) {
+      std::fprintf(out_,
+                   "{\"progress\":\"done\",\"points_done\":%zu,\"points_total\":%zu,"
+                   "\"trials\":%" PRIu64 ",\"errors\":%" PRIu64
+                   ",\"elapsed_s\":%.3f,\"trials_per_s\":%.1f}\n",
+                   done, total, trials, errors, elapsed, avg_rate);
+    } else {
+      std::fprintf(out_,
+                   "[progress] done: %zu/%zu points | %" PRIu64 " trials | %" PRIu64
+                   " errors | %.1fs (%s trials/s)\n",
+                   done, total, trials, errors, elapsed, humanize(avg_rate).c_str());
+    }
     std::fflush(out_);
     return;
   }
@@ -101,10 +139,28 @@ void ProgressMeter::print_line(bool final_line) {
   last_trials_ = trials;
   last_tick_ = now;
 
+  const bool eta_known = done >= 1 && done < total;
+  const double eta_s =
+      eta_known ? elapsed / static_cast<double>(done) * static_cast<double>(total - done)
+                : 0.0;
+
+  if (json) {
+    char eta_json[32];
+    if (eta_known) std::snprintf(eta_json, sizeof eta_json, "%.0f", eta_s);
+    else std::snprintf(eta_json, sizeof eta_json, "null");
+    std::fprintf(out_,
+                 "{\"progress\":\"tick\",\"points_done\":%zu,\"points_total\":%zu,"
+                 "\"point\":\"%s\",\"trials\":%" PRIu64 ",\"trials_per_s\":%.1f,"
+                 "\"errors\":%" PRIu64 ",\"elapsed_s\":%.3f,\"eta_s\":%s}\n",
+                 done, total, json_escape(label).c_str(), trials, rate, errors, elapsed,
+                 eta_json);
+    std::fflush(out_);
+    return;
+  }
+
   char eta[32];
-  if (done >= 1 && done < total) {
-    std::snprintf(eta, sizeof eta, "%.0fs", elapsed / static_cast<double>(done) *
-                                                static_cast<double>(total - done));
+  if (eta_known) {
+    std::snprintf(eta, sizeof eta, "%.0fs", eta_s);
   } else {
     std::snprintf(eta, sizeof eta, "--");
   }

@@ -24,8 +24,14 @@
 namespace uwb::obs {
 
 struct ProgressOptions {
+  /// Heartbeat rendering: human text lines, or machine-readable one-object
+  /// JSON lines ({"progress":"start"|"tick"|"done", ...}) that a supervisor
+  /// (e.g. uwb_farm) can parse from the worker's stderr.
+  enum class Format { kText, kJson };
+
   std::FILE* out = nullptr;  ///< null = stderr
   double interval_s = 1.0;   ///< heartbeat interval
+  Format format = Format::kText;
 };
 
 class ProgressMeter {

@@ -6,6 +6,7 @@
 #include "channel/interferer.h"
 #include "common/error.h"
 #include "fec/viterbi_decoder.h"
+#include "obs/profile.h"
 
 namespace uwb::txrx {
 
@@ -311,7 +312,10 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
                     "Gen2Link: coded mode requires BPSK");
     payload = fec::ConvEncoder(*options.fec).encode(info);
   }
+  obs::StageTimer tx_timer(obs::Stage::kTxModulate);
   auto [wave, frame] = tx_.transmit(payload);
+  tx_timer.add_samples(wave.size());
+  tx_timer.finish();
 
   // Random start delay (what acquisition must find).
   std::size_t delay = 0;
@@ -331,7 +335,10 @@ Gen2TrialResult Gen2Link::run_packet_full(const TrialOptions& options, Rng& rng,
       const channel::SalehValenzuela sv(channel::cm_by_index(options.cm));
       trial.true_channel = sv.realize(rng);
     }
+    obs::StageTimer ch_timer(obs::Stage::kChannelConvolve);
     rx_wave = trial.true_channel.apply(rx_wave);
+    ch_timer.add_samples(rx_wave.size());
+    ch_timer.finish();
   } else {
     trial.true_channel = channel::identity_cir();
   }
@@ -481,7 +488,11 @@ RealWaveform apply_gen1_channel(RealWaveform wave, const TrialOptions& options,
       cir = channel::SalehValenzuela(params).realize(rng);
     }
     if (out_cir != nullptr) *out_cir = cir;
-    return cir.apply_real(wave);
+    obs::StageTimer ch_timer(obs::Stage::kChannelConvolve);
+    RealWaveform out = cir.apply_real(wave);
+    ch_timer.add_samples(out.size());
+    ch_timer.finish();
+    return out;
   }
   if (out_cir != nullptr) *out_cir = channel::identity_cir();
   return wave;
@@ -523,7 +534,10 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
   Gen1TrialResult trial;
 
   const BitVec payload = rng.bits(options.payload_bits);
+  obs::StageTimer tx_timer(obs::Stage::kTxModulate);
   auto [wave, frame] = tx_.transmit(payload);
+  tx_timer.add_samples(wave.size());
+  tx_timer.finish();
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {
@@ -622,7 +636,10 @@ Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& r
   AcqTrial out;
 
   const BitVec payload = rng.bits(options.payload_bits);
+  obs::StageTimer tx_timer(obs::Stage::kTxModulate);
   auto [wave, frame] = tx_.transmit(payload);
+  tx_timer.add_samples(wave.size());
+  tx_timer.finish();
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {

@@ -7,6 +7,7 @@
 #include "dsp/correlator.h"
 #include "dsp/filter_design.h"
 #include "dsp/fir_filter.h"
+#include "obs/profile.h"
 
 namespace uwb::txrx {
 
@@ -26,6 +27,7 @@ RealVec Gen1Receiver::digitize_and_filter(const RealWaveform& rx, const Gen1Tran
                                           Rng& rng) {
   // Anti-alias lowpass at the converter's Nyquist edge: the analog front
   // end band-limits before the 2 GSps sampler.
+  obs::StageTimer fe_timer(obs::Stage::kRxFrontend, rx.size());
   RealWaveform filtered = dsp::filter_same(rx, anti_alias_taps_);
 
   // Scale into the converter's range: a converged AGC loads the flash at
@@ -40,18 +42,23 @@ RealVec Gen1Receiver::digitize_and_filter(const RealWaveform& rx, const Gen1Tran
     skews[static_cast<std::size_t>(k)] = adc_.lane_skew_s(k);
   }
   const RealWaveform sampled = sampler_.sample_interleaved(scaled, skews, rng);
+  fe_timer.finish();
 
+  obs::StageTimer adc_timer(obs::Stage::kAdcQuantize, sampled.size());
   adc_.reset();
   RealVec levels(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
     levels[i] = adc_.level_of(adc_.convert(sampled[i]));
   }
+  adc_timer.finish();
 
   // Matched filter with the monocycle.
+  const obs::StageTimer mf_timer(obs::Stage::kCorrelateRake, levels.size());
   return dsp::correlate(levels, tx.pulse_taps_adc());
 }
 
 Gen1AcqResult Gen1Receiver::acquire_on_mf(const RealVec& mf, const Gen1Transmitter& tx) const {
+  const obs::StageTimer acq_timer(obs::Stage::kSyncAcquire, mf.size());
   Gen1AcqResult result;
   const std::size_t F = config_.frame_samples_adc;
   const std::vector<double>& chips = tx.preamble_chips();
@@ -198,6 +205,8 @@ Gen1RxResult Gen1Receiver::receive(const RealWaveform& rx, const Gen1Transmitter
 
   // Data section: locate via the known frame count (genie/period-resolved)
   // then despread each bit.
+  const obs::StageTimer demod_timer(obs::Stage::kDemodDecide,
+                                    tx_reference.frame_bits.size());
   const std::size_t data_start_frame_nominal =
       preamble_start / F + tx.preamble_frames();
   const auto ppb = static_cast<std::size_t>(config_.pulses_per_bit);

@@ -11,6 +11,7 @@
 #include "equalizer/mlse.h"
 #include "equalizer/rake.h"
 #include "estimation/snr_estimator.h"
+#include "obs/profile.h"
 #include "phy/modulation.h"
 
 namespace uwb::txrx {
@@ -56,11 +57,15 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
 
   // ---- Analog front end + sampling + conversion --------------------------
   auto run_analog_digital = [&](Rng& r) {
+    obs::StageTimer fe_timer(obs::Stage::kRxFrontend, rx.size());
     CplxWaveform fe = analog_chain(rx, options.noise_variance, r);
     CplxWaveform sampled = sampler_.sample(fe, r);
+    fe_timer.finish();
+    obs::StageTimer adc_timer(obs::Stage::kAdcQuantize, sampled.size());
     adc_i_.reset();
     adc_q_.reset();
     CplxVec codes = adc::digitize_iq(sampled.samples(), adc_i_, adc_q_);
+    adc_timer.finish();
     return CplxWaveform(std::move(codes), config_.adc_rate);
   };
   Rng analog_rng = rng.fork(0xA11A);
@@ -84,8 +89,10 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
   if (adc_out.size() < preamble_tmpl.size() + 16) {
     return result;  // capture too short; not acquired
   }
+  obs::StageTimer acq_timer(obs::Stage::kSyncAcquire, adc_out.size());
   const estimation::ChannelEstimate est =
       estimator_.estimate(adc_out, preamble_tmpl, options.genie_timing ? options.genie_offset : 0);
+  acq_timer.finish();
   result.channel_estimate = est.cir;
   result.timing_offset = est.reference_offset;
   if (est.cir.empty() || est.peak_magnitude <= 0.0) {
@@ -109,7 +116,9 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
       pulse_tmpl_adc_[i] = cplx(pulse_taps[i], 0.0);
     }
   }
+  obs::StageTimer mf_timer(obs::Stage::kCorrelateRake, adc_out.size());
   CplxWaveform y(dsp::correlate(adc_out.samples(), pulse_tmpl_adc_), config_.adc_rate);
+  mf_timer.finish();
 
   // ---- Symbol bookkeeping --------------------------------------------------
   const std::size_t sps = config_.samples_per_bit_adc();
@@ -128,6 +137,7 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
   const equalizer::RakeReceiver rake(config_.rake, est.cir, config_.adc_rate);
   result.rake_energy_capture = rake.energy_capture();
 
+  obs::StageTimer rake_timer(obs::Stage::kCorrelateRake, total_symbols);
   std::vector<double> soft_all;
   if (config_.use_rake) {
     soft_all = rake.demodulate(y, all_timing);
@@ -143,6 +153,9 @@ Gen2RxResult Gen2Receiver::receive(const CplxWaveform& rx, const Gen2Transmitter
     shifted.t0 += d;
     soft_all = equalizer::matched_filter_soft(y, shifted, w);
   }
+  rake_timer.finish();
+
+  const obs::StageTimer demod_timer(obs::Stage::kDemodDecide, payload_symbols);
 
   // ---- Data-aided amplitude / SNR reference from the preamble --------------
   const BitVec& preamble_bits = tx.framer().preamble_bits();

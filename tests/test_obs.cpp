@@ -25,6 +25,7 @@
 #include "io/json.h"
 #include "obs/counters.h"
 #include "obs/manifest.h"
+#include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/scenario.h"
@@ -212,8 +213,11 @@ RunManifest sample_manifest() {
   manifest.counters.fft_plan_hits = 400;
   manifest.counters.fft_plan_misses = 3;
   manifest.counters.wall_s = 12.25;
+  manifest.stages[Stage::kRxFrontend] = {56, 210'000'000, 1'500'000, 11'000'000, 860'160};
+  manifest.stages[Stage::kFftExec] = {392, 21'000'000, 11'000, 4'300'000, 1'720'320};
   manifest.points.push_back({0, "CM1 | 8 | full", 0.5, 46, 15272, 41});
   manifest.points.push_back({4, "CM1 | 8 | mf_only", 0.125, 10, 3320, 57});
+  manifest.points[0].stages[Stage::kRxFrontend] = {46, 180'000'000, 1'500'000, 11'000'000, 706'560};
   return manifest;
 }
 
@@ -232,7 +236,20 @@ TEST(RunManifest, RoundTripsThroughJson) {
   EXPECT_EQ(reloaded.stop.metric, manifest.stop.metric);
   EXPECT_EQ(reloaded.build, manifest.build);
   EXPECT_EQ(reloaded.counters, manifest.counters);
-  EXPECT_EQ(reloaded.points, manifest.points);
+  EXPECT_EQ(reloaded.stages, manifest.stages);
+  EXPECT_EQ(reloaded.points, manifest.points);  // includes per-point stages
+}
+
+TEST(RunManifest, EmptyStageTablesAreOmittedAndParseBackEmpty) {
+  RunManifest manifest = sample_manifest();
+  manifest.stages = StageTable{};
+  manifest.points[0].stages = StageTable{};
+  const io::JsonValue doc = manifest_to_json(manifest);
+  EXPECT_EQ(doc.find("stages"), nullptr);  // pre-profiler manifest shape
+  EXPECT_EQ(doc.at("points").items()[0].find("stages"), nullptr);
+  const RunManifest reloaded = manifest_from_json(doc);
+  EXPECT_TRUE(reloaded.stages.empty());
+  EXPECT_TRUE(reloaded.points[0].stages.empty());
 }
 
 TEST(RunManifest, ParsingIsStrict) {
@@ -309,6 +326,98 @@ TEST(ThreadPool, TracedWorkersEmitTaskSpansAndNames) {
   EXPECT_EQ(task_spans, kTasks);
   EXPECT_TRUE(names.count("pool worker 0"));
   EXPECT_TRUE(names.count("pool worker 1"));
+}
+
+// ----------------------------------------------------------- stage profiler ----
+
+TEST(StageProfiler, AccumulatesScopesAgainstAHandTimedFixture) {
+  StageProfiler profiler;
+  {
+    ScopedStageProfile scope(&profiler);
+    for (int i = 0; i < 3; ++i) {
+      StageTimer timer(Stage::kTxModulate, 100);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    StageTimer extra(Stage::kCorrelateRake);
+    extra.add_samples(7);
+    extra.finish();
+    extra.finish();  // idempotent: must not commit a second observation
+  }
+  const StageTable merged = profiler.merged();
+  const StageStats& tx = merged[Stage::kTxModulate];
+  EXPECT_EQ(tx.calls, 3u);
+  EXPECT_EQ(tx.samples, 300u);
+  // Each scope slept 2 ms, so the hand-timed bounds hold per observation.
+  EXPECT_GE(tx.min_ns, 2'000'000u);
+  EXPECT_GE(tx.max_ns, tx.min_ns);
+  EXPECT_GE(tx.total_ns, 3u * tx.min_ns);
+  EXPECT_LE(tx.total_ns, 3u * tx.max_ns);
+  EXPECT_GE(tx.mean_ns(), 2e6);
+  const StageStats& rake = merged[Stage::kCorrelateRake];
+  EXPECT_EQ(rake.calls, 1u);
+  EXPECT_EQ(rake.samples, 7u);
+  EXPECT_EQ(merged[Stage::kFftExec].calls, 0u);  // untouched stages stay zero
+}
+
+TEST(StageProfiler, MergesPerThreadAccumulatorsDeterministically) {
+  StageProfiler profiler;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kScopes = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      const ScopedStageProfile scope(&profiler);
+      for (std::size_t i = 0; i < kScopes; ++i) {
+        StageTimer timer(Stage::kRxFrontend, 10);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const StageTable merged = profiler.merged();
+  EXPECT_EQ(merged[Stage::kRxFrontend].calls, kThreads * kScopes);
+  EXPECT_EQ(merged[Stage::kRxFrontend].samples, kThreads * kScopes * 10);
+  // merged() is a pure fold over quiesced accumulators: repeatable.
+  EXPECT_EQ(profiler.merged(), merged);
+  profiler.reset();
+  EXPECT_TRUE(profiler.merged().empty());
+}
+
+TEST(StageProfiler, DisabledThreadNeverRecords) {
+  StageProfiler profiler;
+  {
+    // No active scope on this thread: the timer must stay inert.
+    StageTimer timer(Stage::kDemodDecide, 1000);
+    timer.add_samples(5);
+  }
+  {
+    const ScopedStageProfile on(&profiler);
+    {
+      const ScopedStageProfile off(nullptr);  // nested deactivation
+      StageTimer timer(Stage::kDemodDecide, 1);
+    }
+    StageTimer timer(Stage::kDemodDecide, 2);  // binding restored: records
+  }
+  const StageTable merged = profiler.merged();
+  EXPECT_EQ(merged[Stage::kDemodDecide].calls, 1u);
+  EXPECT_EQ(merged[Stage::kDemodDecide].samples, 2u);
+}
+
+TEST(StageTable, RoundTripsThroughJsonSkippingZeroRows) {
+  StageTable table;
+  table[Stage::kChannelConvolve] = {12, 34'000'000, 1'000'000, 9'000'000, 49'152};
+  table[Stage::kFftExec] = {96, 5'000'000, 20'000, 120'000, 98'304};
+  const io::JsonValue rows = stage_table_to_json(table);
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.items().size(), 2u);  // zero-call stages omitted
+  EXPECT_EQ(rows.items()[0].at("stage").as_string(), "channel_convolve");
+  EXPECT_EQ(stage_table_from_json(rows), table);
+  EXPECT_THROW((void)stage_from_name("warp_drive"), Error);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(stage_from_name(stage_name(static_cast<Stage>(i))),
+              static_cast<Stage>(i));
+  }
 }
 
 // ------------------------------------------------------------ progress meter ----
@@ -424,6 +533,46 @@ TEST(SweepEngine, TelemetryNeverChangesResultBytes) {
                 traced_result.counters.cache_disk_loads,
             0u);
   EXPECT_GT(traced_result.counters.wall_s, 0.0);
+}
+
+TEST(SweepEngine, ProfilingNeverChangesResultBytes) {
+  const engine::ScenarioSpec scenario = tiny_ensemble_scenario();
+  sim::BerStop stop;
+  stop.min_errors = 8;
+  stop.max_bits = 1500;
+  stop.max_trials = 25;
+
+  // Baseline: one worker, no profiler.
+  engine::SweepConfig plain;
+  plain.seed = 0x0B5;
+  plain.workers = 1;
+  plain.stop = stop;
+  engine::JsonSink plain_json("test_results/obs_prof_off.json");
+  (void)engine::SweepEngine(plain).run(scenario, {&plain_json});
+
+  // Profiled: eight workers, --profile equivalent.
+  StageProfiler profiler;
+  engine::SweepConfig profiled = plain;
+  profiled.workers = 8;
+  profiled.profile = &profiler;
+  engine::SweepResult profiled_result;
+  {
+    engine::JsonSink profiled_json("test_results/obs_prof_on.json");
+    profiled_result = engine::SweepEngine(profiled).run(scenario, {&profiled_json});
+  }
+
+  // The contract: the profiler is a pure observer.
+  const std::string off_bytes = slurp("test_results/obs_prof_off.json");
+  ASSERT_FALSE(off_bytes.empty());
+  EXPECT_EQ(off_bytes, slurp("test_results/obs_prof_on.json"));
+
+  // The run-total stage table saw the instrumented pipeline.
+  EXPECT_FALSE(profiled_result.stages.empty());
+  EXPECT_GT(profiled_result.stages[Stage::kTxModulate].calls, 0u);
+  EXPECT_GT(profiled_result.stages[Stage::kRxFrontend].calls, 0u);
+  EXPECT_GT(profiled_result.stages[Stage::kRxFrontend].samples, 0u);
+  EXPECT_GT(profiled_result.stages[Stage::kDemodDecide].calls, 0u);
+  EXPECT_GT(profiled_result.stages[Stage::kFftExec].calls, 0u);
 }
 
 }  // namespace

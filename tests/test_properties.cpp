@@ -52,6 +52,46 @@ TEST_P(FftSizeProperty, ParsevalAndRoundTrip) {
   EXPECT_LT(err, 1e-9) << "round trip at n=" << n;
 }
 
+TEST_P(FftSizeProperty, ParsevalHoldsAcrossTheWholeFftPath) {
+  // Parseval through every public entry of the FFT path, not just the
+  // in-place core: the real-input overload with zero-padding to an
+  // explicit larger size, the plan-cache execute path, and fast
+  // convolution against a unit impulse (which must preserve the signal,
+  // hence its energy, exactly up to roundoff).
+  const std::size_t n = GetParam();
+  Rng rng(n + 2);
+
+  // Real-input overload, odd-length input zero-padded to 2n: padding
+  // adds no energy, so sum |X[k]|^2 / 2n still equals the time energy.
+  RealVec xr(n - 1);
+  for (auto& v : xr) v = rng.gaussian();
+  double real_energy = 0.0;
+  for (const double v : xr) real_energy += v * v;
+  const CplxVec spec = dsp::fft(xr, 2 * n);
+  ASSERT_EQ(spec.size(), 2 * n);
+  double padded_energy = 0.0;
+  for (const auto& v : spec) padded_energy += std::norm(v);
+  EXPECT_NEAR(padded_energy / static_cast<double>(2 * n), real_energy,
+              1e-8 * real_energy)
+      << "real-input overload at n=" << n;
+
+  // Plan-cache path: forward(ptr) must agree with the free function.
+  CplxVec via_plan(2 * n);
+  for (std::size_t i = 0; i < xr.size(); ++i) via_plan[i] = xr[i];
+  dsp::fft_plan(2 * n).forward(via_plan.data());
+  for (std::size_t i = 0; i < via_plan.size(); ++i) {
+    EXPECT_LT(std::abs(via_plan[i] - spec[i]), 1e-9);
+  }
+
+  // Fast convolution with a unit impulse is the identity (plus exact
+  // zeros), so the convolution path conserves energy too.
+  const RealVec conv = dsp::fft_convolve(xr, RealVec{1.0});
+  ASSERT_EQ(conv.size(), xr.size());
+  double conv_energy = 0.0;
+  for (const double v : conv) conv_energy += v * v;
+  EXPECT_NEAR(conv_energy, real_energy, 1e-8 * real_energy);
+}
+
 TEST_P(FftSizeProperty, LinearityOfTransform) {
   const std::size_t n = GetParam();
   Rng rng(n + 1);

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,9 @@ int usage(std::FILE* out) {
                "  --workers-per-shard W\n"
                "                     worker threads per child (default: child decides)\n"
                "  --channel-cache D  forwarded to every worker\n"
+               "  --progress         workers emit JSON heartbeat lines into their\n"
+               "                     shard logs; `uwb_farm status` shows the latest\n"
+               "                     one per live shard (journaled, survives resume)\n"
                "\n"
                "run/resume options:\n"
                "  --max-attempts K   attempts per shard before giving up (default 3)\n"
@@ -160,6 +164,7 @@ Args parse_args(int argc, char** argv) {
       args.spec.workers_per_shard =
           parse_u64(next(i, "--workers-per-shard"), "--workers-per-shard");
     else if (arg == "--channel-cache") args.spec.channel_cache_dir = next(i, "--channel-cache");
+    else if (arg == "--progress") args.spec.progress = true;
     else if (arg == "--max-attempts") {
       args.spec.retry.max_attempts = parse_u64(next(i, "--max-attempts"), "--max-attempts");
       detail::require(args.spec.retry.max_attempts >= 1, "--max-attempts needs K >= 1");
@@ -211,7 +216,23 @@ std::string resolve_worker(const Args& args) {
   return "uwb_sweep";
 }
 
-void print_status(const farm::FarmSpec& spec, const farm::FarmState& state) {
+/// Last JSON heartbeat line in the shard's most recent attempt log, or ""
+/// when the log is missing or carries no `{"progress"...}` lines (workers
+/// only emit them when the farm ran with --progress).
+std::string last_heartbeat(const farm::RunPaths& paths, const farm::ShardState& shard) {
+  if (shard.attempts == 0) return "";
+  std::ifstream in(paths.shard_log(shard.index, shard.attempts));
+  if (!in.good()) return "";
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"progress\"", 0) == 0) last = line;
+  }
+  return last;
+}
+
+void print_status(const farm::FarmSpec& spec, const farm::FarmState& state,
+                  const farm::RunPaths& paths) {
   std::size_t done = 0;
   for (const farm::ShardState& shard : state.shards) {
     if (shard.status == farm::ShardStatus::kDone) ++done;
@@ -224,6 +245,15 @@ void print_status(const farm::FarmSpec& spec, const farm::FarmState& state) {
                  farm::to_string(shard.status).c_str(), shard.attempts,
                  shard.last_outcome.empty() ? "" : "  ",
                  shard.last_outcome.c_str());
+    if (shard.status == farm::ShardStatus::kDone) {
+      std::fprintf(stdout, "           wall=%.1fs trials=%llu points=%llu\n",
+                   shard.wall_s, static_cast<unsigned long long>(shard.trials),
+                   static_cast<unsigned long long>(shard.points));
+    } else {
+      // Live/failed shards: surface the worker's own latest heartbeat.
+      const std::string beat = last_heartbeat(paths, shard);
+      if (!beat.empty()) std::fprintf(stdout, "           last: %s\n", beat.c_str());
+    }
   }
 }
 
@@ -328,7 +358,7 @@ int run_status(const Args& args) {
   const farm::RunPaths paths{args.positional.front()};
   const farm::FarmSpec spec = farm::load_farm_spec(paths.farm_json());
   const farm::FarmState state = farm::load_farm_state(paths.state_json());
-  print_status(spec, state);
+  print_status(spec, state, paths);
   return farm::kExitOk;
 }
 

@@ -46,6 +46,7 @@
 #include "io/result_io.h"
 #include "io/spec_io.h"
 #include "obs/manifest.h"
+#include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 
@@ -122,6 +123,15 @@ int usage(std::FILE* out) {
                "                     trials/sec, errors, ETA)\n"
                "  --progress-interval SEC\n"
                "                     heartbeat interval (default 1.0; needs --progress)\n"
+               "  --progress-format F\n"
+               "                     heartbeat rendering: text (default) or json --\n"
+               "                     one machine-readable object per line for\n"
+               "                     supervisors like uwb_farm (implies --progress)\n"
+               "  --profile          per-stage time/throughput attribution inside the\n"
+               "                     links (tx/channel/frontend/ADC/sync/rake/demod/\n"
+               "                     FFT): a stderr table after the run, stage tables\n"
+               "                     in the manifest sidecar, and -- with --trace -- a\n"
+               "                     Chrome counter track; results are unchanged\n"
                "  --allow-partial    (with --merge) accept coverage gaps and mark no\n"
                "                     error; duplicates are still rejected\n"
                "  --quiet            no console table, no end-of-run counter summary\n"
@@ -145,8 +155,10 @@ struct Args {
   bool fast = false;
   bool precompute = false;
   bool progress = false;
+  bool profile = false;
   bool allow_partial = false;
   double progress_interval_s = 1.0;
+  obs::ProgressOptions::Format progress_format = obs::ProgressOptions::Format::kText;
   std::string scenario;
   std::string spec_file;
   std::vector<std::string> merge_inputs;
@@ -236,6 +248,14 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--progress-interval")
       args.progress_interval_s =
           parse_positive_double(next(i, "--progress-interval"), "--progress-interval");
+    else if (arg == "--progress-format") {
+      const std::string format = next(i, "--progress-format");
+      if (format == "text") args.progress_format = obs::ProgressOptions::Format::kText;
+      else if (format == "json") args.progress_format = obs::ProgressOptions::Format::kJson;
+      else throw InvalidArgument("--progress-format expects text or json, got '" + format + "'");
+      args.progress = true;  // asking for a format implies wanting the heartbeat
+    }
+    else if (arg == "--profile") args.profile = true;
     else if (arg == "--channel-ensemble") {
       args.channel_ensemble = parse_u64(next(i, "--channel-ensemble"), "--channel-ensemble");
       detail::require(args.channel_ensemble >= 1, "--channel-ensemble needs N >= 1");
@@ -442,10 +462,14 @@ int run_sweep(const Args& args, const engine::ScenarioSpec& scenario) {
   if (args.progress) {
     obs::ProgressOptions options;
     options.interval_s = args.progress_interval_s;
+    options.format = args.progress_format;
     progress.emplace(options);
   }
+  std::optional<obs::StageProfiler> profiler;
+  if (args.profile) profiler.emplace();
   sweep_config.trace = trace.has_value() ? &*trace : nullptr;
   sweep_config.progress = progress.has_value() ? &*progress : nullptr;
+  sweep_config.profile = profiler.has_value() ? &*profiler : nullptr;
 
   // Cooperative interruption: SIGINT/SIGTERM set a flag the engine polls,
   // the sweep winds down at the next point boundary, and everything below
@@ -481,6 +505,7 @@ int run_sweep(const Args& args, const engine::ScenarioSpec& scenario) {
     manifest.interrupted = result.interrupted;
     manifest.build = obs::current_build_info();
     manifest.counters = result.counters;
+    manifest.stages = result.stages;
     for (const engine::PointRecord& record : result.records) {
       obs::PointTiming timing;
       timing.index = record.index;
@@ -489,12 +514,17 @@ int run_sweep(const Args& args, const engine::ScenarioSpec& scenario) {
       timing.trials = record.ber.trials;
       timing.bits = record.ber.bits;
       timing.errors = record.ber.errors;
+      timing.stages = record.stages;
       manifest.points.push_back(std::move(timing));
     }
     const std::string manifest_path = obs::manifest_path_for(args.out_path);
     obs::write_run_manifest(manifest, manifest_path);
     std::fprintf(stderr, "%zu points -> %s (manifest: %s)\n", result.records.size(),
                  args.out_path.c_str(), manifest_path.c_str());
+  }
+  if (args.profile) {
+    std::fprintf(stderr, "stage profile (run totals):\n");
+    obs::print_stage_table(result.stages, stderr);
   }
   if (!args.quiet) print_counter_summary(result.counters);
   if (result.interrupted) {
