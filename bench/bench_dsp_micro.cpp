@@ -132,7 +132,7 @@ void BM_ConvolveRealDirect(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(x.size()));
 }
-BENCHMARK(BM_ConvolveRealDirect)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ConvolveRealDirect)->Arg(32)->Arg(48)->Arg(64)->Arg(96)->Arg(128)->Arg(256)->Arg(1024);
 
 void BM_ConvolveRealFft(benchmark::State& state) {
   Rng rng(20);
@@ -149,7 +149,7 @@ void BM_ConvolveRealFft(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(x.size()));
 }
-BENCHMARK(BM_ConvolveRealFft)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ConvolveRealFft)->Arg(32)->Arg(48)->Arg(64)->Arg(96)->Arg(128)->Arg(256)->Arg(1024);
 
 void BM_ConvolveCplxRealDirect(benchmark::State& state) {
   Rng rng(21);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/error.h"
 
@@ -46,6 +48,30 @@ TimeInterleavedAdc::TimeInterleavedAdc(int num_lanes, const FlashParams& lane_pa
     offsets_.push_back(rng.gaussian(0.0, mismatch.offset_sigma * lane_params.full_scale));
     skews_s_.push_back(rng.gaussian(0.0, mismatch.timing_skew_sigma_s));
   }
+  // Float mirrors for the single-precision block path. Ladders are padded
+  // to a multiple of 8 with +inf so the count loop's trip count is fixed
+  // and vectorizable; +inf never trips a comparator.
+  const double lsb = 2.0 * lane_params.full_scale / (1 << lane_params.bits);
+  lsb_f_ = static_cast<float>(lsb);
+  level_base_f_ = static_cast<float>(-lane_params.full_scale + 0.5 * lsb);
+  thr_f_.resize(lanes_.size());
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    const RealVec& thr = lanes_[k].thresholds();
+    const std::size_t padded = (thr.size() + 7) / 8 * 8;
+    thr_f_[k].assign(padded, std::numeric_limits<float>::infinity());
+    for (std::size_t t = 0; t < thr.size(); ++t) {
+      thr_f_[k][t] = static_cast<float>(thr[t]);
+    }
+    gains_f_.push_back(static_cast<float>(gains_[k]));
+    offsets_f_.push_back(static_cast<float>(offsets_[k]));
+  }
+  thr_rows_ = lanes_.front().thresholds().size();
+  thr_t_.resize(thr_rows_ * lanes_.size());
+  for (std::size_t t = 0; t < thr_rows_; ++t) {
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      thr_t_[t * lanes_.size() + k] = static_cast<float>(lanes_[k].thresholds()[t]);
+    }
+  }
 }
 
 int TimeInterleavedAdc::bits() const noexcept { return lanes_.front().bits(); }
@@ -63,6 +89,78 @@ int TimeInterleavedAdc::convert(double x) noexcept {
 
 double TimeInterleavedAdc::level_of(int code) const noexcept {
   return lanes_[static_cast<std::size_t>(last_lane_used_)].level_of(code);
+}
+
+void TimeInterleavedAdc::convert_block(const double* x, std::size_t n,
+                                       double* levels) noexcept {
+  const std::size_t num_lanes = lanes_.size();
+  std::size_t lane = lane_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = gains_[lane] * x[i] + offsets_[lane];
+    const RealVec& thr = lanes_[lane].thresholds();
+    // Thermometer decode: upper_bound's count of thresholds <= v, computed
+    // branch-free over the whole (sorted) ladder.
+    int code = 0;
+    const std::size_t num_thr = thr.size();
+    for (std::size_t t = 0; t < num_thr; ++t) {
+      code += static_cast<int>(thr[t] <= v);
+    }
+    levels[i] = lanes_[lane].level_of(code);
+    lane = (lane + 1) % num_lanes;
+  }
+  if (n > 0) {
+    last_lane_used_ = static_cast<int>((lane + num_lanes - 1) % num_lanes);
+  }
+  lane_ = lane;
+}
+
+void TimeInterleavedAdc::convert_block(const float* x, std::size_t n,
+                                       float* levels) noexcept {
+  const std::size_t num_lanes = lanes_.size();
+  std::size_t lane = lane_;
+  std::size_t i = 0;
+  // Pattern-blocked path for the gen-1 4-lane converter starting on lane 0
+  // (the reset() state): four consecutive samples hit lanes 0..3, so each
+  // transposed ladder row compares 4-wide against the block with no
+  // per-sample horizontal reduction. Bit-identical to the scalar loop --
+  // same compares against the same float ladders, in a different order that
+  // never changes any per-sample count.
+  if (num_lanes == 4 && lane == 0) {
+    const float g0 = gains_f_[0], g1 = gains_f_[1], g2 = gains_f_[2], g3 = gains_f_[3];
+    const float o0 = offsets_f_[0], o1 = offsets_f_[1], o2 = offsets_f_[2],
+                o3 = offsets_f_[3];
+    const std::size_t rows = thr_rows_;
+    for (; i + 4 <= n; i += 4) {
+      const float v[4] = {g0 * x[i] + o0, g1 * x[i + 1] + o1, g2 * x[i + 2] + o2,
+                          g3 * x[i + 3] + o3};
+      std::int32_t code[4] = {};
+      const float* row = thr_t_.data();
+      for (std::size_t t = 0; t < rows; ++t, row += 4) {
+        for (int l = 0; l < 4; ++l) {
+          code[l] += static_cast<std::int32_t>(row[l] <= v[l]);
+        }
+      }
+      for (int l = 0; l < 4; ++l) {
+        levels[i + l] = level_base_f_ + static_cast<float>(code[l]) * lsb_f_;
+      }
+    }
+    // lane stays 0 after each whole block of 4.
+  }
+  for (; i < n; ++i) {
+    const float v = gains_f_[lane] * x[i] + offsets_f_[lane];
+    const float* thr = thr_f_[lane].data();
+    const std::size_t num_thr = thr_f_[lane].size();  // padded, multiple of 8
+    std::int32_t code = 0;
+    for (std::size_t t = 0; t < num_thr; ++t) {
+      code += static_cast<std::int32_t>(thr[t] <= v);
+    }
+    levels[i] = level_base_f_ + static_cast<float>(code) * lsb_f_;
+    lane = (lane + 1) % num_lanes;
+  }
+  if (n > 0) {
+    last_lane_used_ = static_cast<int>((lane + num_lanes - 1) % num_lanes);
+  }
+  lane_ = lane;
 }
 
 }  // namespace uwb::adc

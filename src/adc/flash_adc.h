@@ -63,6 +63,21 @@ class TimeInterleavedAdc final : public Adc {
   [[nodiscard]] int convert(double x) noexcept override;
   [[nodiscard]] double level_of(int code) const noexcept override;
 
+  /// Converts \p n samples and writes each one's reconstruction level:
+  /// bit-identical to calling level_of(convert(x[i])) in a loop (same lane
+  /// rotation, gain/offset perturbation and thermometer count), but the
+  /// comparator bank runs branch-free -- code = sum of (threshold <= v)
+  /// over the sorted ladder -- instead of a per-sample binary search.
+  void convert_block(const double* x, std::size_t n, double* levels) noexcept;
+
+  /// Single-precision block conversion (the gen-1 float sample arena).
+  /// Same lane rotation and thermometer count against float-rounded ladders
+  /// built once at construction; with a shared full scale the reconstruction
+  /// levels +/-(c + 0.5) * lsb are exact in float for converter resolutions
+  /// up to the dyadic limit, so only threshold-crossing samples can differ
+  /// from the double path.
+  void convert_block(const float* x, std::size_t n, float* levels) noexcept;
+
   void reset() noexcept override { lane_ = 0; }
 
   [[nodiscard]] int num_lanes() const noexcept { return static_cast<int>(lanes_.size()); }
@@ -77,6 +92,21 @@ class TimeInterleavedAdc final : public Adc {
   RealVec skews_s_;
   std::size_t lane_ = 0;
   int last_lane_used_ = 0;
+
+  // Float mirrors for the single-precision block path, built once at
+  // construction: per-lane ladders padded to a multiple of 8 with +inf (the
+  // thermometer count loop then has a fixed vectorizable trip count).
+  std::vector<std::vector<float>> thr_f_;
+  std::vector<float> gains_f_;
+  std::vector<float> offsets_f_;
+  float level_base_f_ = 0.0f;  ///< level_of(0) = -full_scale + lsb/2
+  float lsb_f_ = 0.0f;
+  // Transposed ladder for the pattern-blocked 4-lane path: row t holds
+  // threshold t of every lane, so a block of num_lanes consecutive samples
+  // compares against contiguous unit-stride rows (vectorizes across the
+  // block instead of needing a horizontal reduction per sample).
+  std::vector<float> thr_t_;
+  std::size_t thr_rows_ = 0;  ///< unpadded ladder length (2^bits - 1)
 };
 
 }  // namespace uwb::adc

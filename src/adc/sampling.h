@@ -35,6 +35,27 @@ class SampleAndHold {
   [[nodiscard]] RealWaveform sample_interleaved(const RealWaveform& analog,
                                                 const RealVec& lane_skews_s, Rng& rng) const;
 
+  /// Number of output samples produced from \p x_len input samples at rate
+  /// \p fs_in -- pre-size the buffer handed to sample_interleaved_to().
+  [[nodiscard]] std::size_t output_size(std::size_t x_len, double fs_in) const noexcept;
+
+  /// Interleaved sampling into a caller-owned buffer of output_size()
+  /// doubles. Bit-identical to sample_interleaved(); with zero aperture
+  /// jitter the inner loop runs a branch-free per-lane path that never
+  /// touches the RNG. Returns the number of samples written.
+  std::size_t sample_interleaved_to(const double* x, std::size_t x_len, double fs_in,
+                                    const RealVec& lane_skews_s, Rng& rng,
+                                    double* out) const;
+
+  /// Single-precision variant (the gen-1 float sample arena). Sampling
+  /// instants are still computed in double; the jitter-free lane path
+  /// replaces the per-sample division by a reciprocal multiply (the float
+  /// path carries no bit-identity contract) and the interpolation itself
+  /// runs in float.
+  std::size_t sample_interleaved_to(const float* x, std::size_t x_len, double fs_in,
+                                    const RealVec& lane_skews_s, Rng& rng,
+                                    float* out) const;
+
  private:
   template <typename T>
   [[nodiscard]] std::vector<T> sample_impl(const std::vector<T>& x, double fs_in,

@@ -22,6 +22,13 @@ void add_awgn(CplxVec& x, double n0, Rng& rng);
 /// Adds real AWGN with per-sample variance n0/2 in place.
 void add_awgn(RealVec& x, double n0, Rng& rng);
 
+/// Single-precision AWGN over a raw buffer -- the gen-1 float sample arena's
+/// noise path. Runs a float ziggurat on a xoshiro256++ stream seeded by one
+/// draw from \p rng's engine, so each trial's noise stays a pure function of
+/// its forked seed (the determinism contract); realizations differ from the
+/// double overload's at the sampler level, not just in rounding.
+void add_awgn(float* x, std::size_t n, double n0, Rng& rng);
+
 /// Waveform overloads.
 void add_awgn(CplxWaveform& x, double n0, Rng& rng);
 void add_awgn(RealWaveform& x, double n0, Rng& rng);

@@ -16,6 +16,8 @@ namespace uwb::channel {
 struct CirTap {
   double delay_s = 0.0;
   cplx gain{1.0, 0.0};
+
+  [[nodiscard]] bool operator==(const CirTap&) const = default;
 };
 
 /// A multipath channel impulse response at complex baseband.

@@ -1,5 +1,6 @@
 #include "dsp/correlator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dsp/fast_convolve.h"
@@ -28,12 +29,87 @@ RealVec correlate(const RealVec& x, const RealVec& tmpl) {
     ols_correlate(x, tmpl, out, thread_fft_workspace());
     return out;
   }
-  const std::size_t num_lags = x.size() - tmpl.size() + 1;
-  RealVec out(num_lags);
-  for (std::size_t k = 0; k < num_lags; ++k) {
-    out[k] = dot(x.data() + k, tmpl.data(), tmpl.size());
-  }
+  RealVec out(x.size() - tmpl.size() + 1);
+  dot_bank(x.data(), out.size(), tmpl.data(), tmpl.size(), out.data());
   return out;
+}
+
+std::size_t correlate_to(const double* x, std::size_t x_len, const RealVec& tmpl,
+                         double* out) {
+  const std::size_t num_lags = x_len - tmpl.size() + 1;
+  if (use_fft_convolve(x_len, tmpl.size(), ConvKind::kRealReal)) {
+    // Overlap-save wants vector in/out; stage through temporaries (rare:
+    // the workspace callers all use short matched-filter templates).
+    RealVec xin(x, x + x_len);
+    RealVec tmp;
+    ols_correlate(xin, tmpl, tmp, thread_fft_workspace());
+    std::copy(tmp.begin(), tmp.end(), out);
+    return num_lags;
+  }
+  dot_bank(x, num_lags, tmpl.data(), tmpl.size(), out);
+  return num_lags;
+}
+
+std::size_t correlate_to(const float* x, std::size_t x_len, const RealVec& tmpl,
+                         float* out) {
+  const std::size_t num_lags = x_len - tmpl.size() + 1;
+  // The float arena only matched-filters short pulse templates; stay on the
+  // direct kernel unconditionally (no float overlap-save path exists).
+  constexpr std::size_t kMaxStackTaps = 256;
+  float stack_taps[kMaxStackTaps];
+  std::vector<float> heap_taps;
+  float* t = stack_taps;
+  if (tmpl.size() > kMaxStackTaps) {
+    heap_taps.resize(tmpl.size());
+    t = heap_taps.data();
+  }
+  for (std::size_t m = 0; m < tmpl.size(); ++m) t[m] = static_cast<float>(tmpl[m]);
+  dot_bank(x, num_lags, t, tmpl.size(), out);
+  return num_lags;
+}
+
+namespace {
+
+/// Shared blocked kernel: kBlock lags advance together, taps ascending, one
+/// independent accumulator per lag. The same lag count fills the same vector
+/// registers with twice the lanes in float, which is the whole point of the
+/// gen-1 single-precision arena.
+template <typename T, std::size_t kBlock>
+void dot_bank_impl(const T* x, std::size_t num_lags, const T* h, std::size_t h_len,
+                   T* out) noexcept {
+  std::size_t j = 0;
+  for (; j + kBlock <= num_lags; j += kBlock) {
+    T acc[kBlock] = {};
+    const T* xj = x + j;
+    for (std::size_t m = 0; m < h_len; ++m) {
+      const T hm = h[m];
+      for (std::size_t b = 0; b < kBlock; ++b) {
+        acc[b] += xj[m + b] * hm;
+      }
+    }
+    for (std::size_t b = 0; b < kBlock; ++b) out[j + b] = acc[b];
+  }
+  for (; j < num_lags; ++j) {
+    T acc{};
+    for (std::size_t m = 0; m < h_len; ++m) acc += x[j + m] * h[m];
+    out[j] = acc;
+  }
+}
+
+}  // namespace
+
+void dot_bank(const double* x, std::size_t num_lags, const double* h, std::size_t h_len,
+              double* out) noexcept {
+  // 32 lags per block: enough independent accumulator vectors to hide the
+  // FP-add latency chain (measured >2x over an 8-lag block on SSE2). Each
+  // lag still accumulates alone in ascending-tap order, so the block width
+  // never affects results.
+  dot_bank_impl<double, 32>(x, num_lags, h, h_len, out);
+}
+
+void dot_bank(const float* x, std::size_t num_lags, const float* h, std::size_t h_len,
+              float* out) noexcept {
+  dot_bank_impl<float, 32>(x, num_lags, h, h_len, out);
 }
 
 RealVec normalized_correlation(const CplxVec& x, const CplxVec& tmpl) {

@@ -63,6 +63,50 @@ void ols_run(const std::vector<TX>& x, std::size_t h_len, StoreFn&& store,
   }
 }
 
+/// Real x real overlap-save core on the half-size real transform: same
+/// block decomposition as ols_run (pick_fft_size depends only on sizes),
+/// but each block pays one forward + one inverse RfftPlan execution --
+/// roughly half the complex-transform work. The caller staged the kernel
+/// taps into ws.rblock[0..h_len).
+template <typename StoreFn>
+void ols_run_real(const RealVec& x, std::size_t h_len, StoreFn&& store,
+                  FftWorkspace& ws) {
+  const std::size_t x_len = x.size();
+  const std::size_t out_len = x_len + h_len - 1;
+  const std::size_t n = std::max<std::size_t>(2, pick_fft_size(h_len, out_len));
+  const std::size_t hop = n - h_len + 1;  // valid outputs per block
+  const RfftPlan& plan = rfft_plan(n);
+  const std::size_t bins = plan.bins();
+
+  // Kernel half-spectrum (zero stale bytes past the staged taps).
+  ws.rblock.resize(n);
+  std::fill(ws.rblock.begin() + static_cast<std::ptrdiff_t>(h_len),
+            ws.rblock.end(), 0.0);
+  ws.kernel_rfft.resize(bins);
+  plan.forward(ws.rblock.data(), ws.kernel_rfft.data());
+  ws.rspec.resize(bins);
+
+  for (std::size_t s = 0; s < out_len; s += hop) {
+    // Outputs [s, s+hop) need input indices [s - (h_len-1), s - (h_len-1) + n):
+    // copy the in-range span, zero-fill the edges (no per-sample branches).
+    const std::ptrdiff_t i0 =
+        static_cast<std::ptrdiff_t>(s) - static_cast<std::ptrdiff_t>(h_len - 1);
+    const std::ptrdiff_t lo =
+        std::clamp<std::ptrdiff_t>(-i0, 0, static_cast<std::ptrdiff_t>(n));
+    const std::ptrdiff_t hi = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(x_len) - i0, lo, static_cast<std::ptrdiff_t>(n));
+    std::fill(ws.rblock.begin(), ws.rblock.begin() + lo, 0.0);
+    std::copy(x.begin() + (i0 + lo), x.begin() + (i0 + hi), ws.rblock.begin() + lo);
+    std::fill(ws.rblock.begin() + hi, ws.rblock.end(), 0.0);
+
+    plan.forward(ws.rblock.data(), ws.rspec.data());
+    for (std::size_t k = 0; k < bins; ++k) ws.rspec[k] *= ws.kernel_rfft[k];
+    plan.inverse(ws.rspec.data(), ws.rblock.data());
+    const std::size_t count = std::min(hop, out_len - s);
+    for (std::size_t t = 0; t < count; ++t) store(s + t, ws.rblock[h_len - 1 + t]);
+  }
+}
+
 /// Shared prologue for the convolve overloads: stage the kernel, size the
 /// output, run the block loop writing out[i] = project(block value).
 template <typename TX, typename TH, typename TY>
@@ -140,7 +184,14 @@ bool use_fft_convolve(std::size_t x_len, std::size_t h_len, ConvKind kind) noexc
 }
 
 void ols_convolve(const RealVec& x, const RealVec& h, RealVec& out, FftWorkspace& ws) {
-  ols_convolve_impl(x, h, out, ws);
+  if (x.empty() || h.empty()) {
+    out.clear();
+    return;
+  }
+  out.resize(x.size() + h.size() - 1);
+  ws.rblock.resize(std::max(ws.rblock.size(), h.size()));
+  std::copy(h.begin(), h.end(), ws.rblock.begin());
+  ols_run_real(x, h.size(), [&](std::size_t idx, double v) { out[idx] = v; }, ws);
 }
 
 void ols_convolve(const CplxVec& x, const RealVec& h, CplxVec& out, FftWorkspace& ws) {
@@ -152,7 +203,21 @@ void ols_convolve(const CplxVec& x, const CplxVec& h, CplxVec& out, FftWorkspace
 }
 
 void ols_correlate(const RealVec& x, const RealVec& tmpl, RealVec& out, FftWorkspace& ws) {
-  ols_correlate_impl(x, tmpl, out, ws);
+  const std::size_t m = tmpl.size();
+  if (m == 0 || x.size() < m) {
+    out.clear();
+    return;
+  }
+  const std::size_t num_lags = x.size() - m + 1;
+  out.resize(num_lags);
+  ws.rblock.resize(std::max(ws.rblock.size(), m));
+  for (std::size_t i = 0; i < m; ++i) ws.rblock[i] = tmpl[m - 1 - i];
+  ols_run_real(x, m, [&](std::size_t idx, double v) {
+    if (idx < m - 1) return;  // partial-overlap prefix of the full convolution
+    const std::size_t lag = idx - (m - 1);
+    if (lag >= num_lags) return;
+    out[lag] = v;
+  }, ws);
 }
 
 void ols_correlate(const CplxVec& x, const CplxVec& tmpl, CplxVec& out, FftWorkspace& ws) {

@@ -28,6 +28,11 @@ namespace uwb::dsp {
 struct FftWorkspace {
   CplxVec kernel_fft;  ///< H = FFT(kernel), one block size
   CplxVec block;       ///< per-block staging / transform buffer
+  // Real x real jobs run on the half-size real transform (dsp::RfftPlan)
+  // instead: real staging buffer plus half-spectrum kernel/work buffers.
+  RealVec rblock;       ///< real per-block staging / kernel staging buffer
+  CplxVec kernel_rfft;  ///< H = rfft(kernel), n/2 + 1 bins
+  CplxVec rspec;        ///< per-block half-spectrum work buffer
 };
 
 /// The per-thread workspace used by the auto-dispatching entry points.
@@ -65,8 +70,10 @@ enum class ConvKind { kRealReal, kCplxReal, kCplxCplx };
 /// Measured dispatch crossovers (bench_dsp_micro "Convolve*"/"Correlate*"
 /// fixtures, 16k-sample signal; see docs/performance.md): the FFT path wins
 /// once the kernel reaches the per-kind tap count below AND the direct-cost
-/// proxy x_len * h_len clears kFftMinProduct.
-inline constexpr std::size_t kFftMinKernelRealReal = 128;
+/// proxy x_len * h_len clears kFftMinProduct. Real x real runs on the
+/// half-size real transform (RfftPlan), which moved its crossover down
+/// from 128: direct still wins at 64 taps, rfft wins from 96 up.
+inline constexpr std::size_t kFftMinKernelRealReal = 96;
 inline constexpr std::size_t kFftMinKernelCplxReal = 64;
 inline constexpr std::size_t kFftMinKernelCplxCplx = 32;
 inline constexpr std::size_t kFftMinProduct = 1u << 15;

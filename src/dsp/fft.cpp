@@ -110,6 +110,91 @@ FftPlanCacheStats fft_plan_cache_stats() {
   return FftPlanCacheStats{g_plan_hits, g_plan_misses};
 }
 
+// --------------------------------------------------------------- RfftPlan ----
+
+RfftPlan::RfftPlan(std::size_t n, const FftPlan& half) : n_(n), half_(&half) {
+  detail::require(is_pow2(n) && n >= 2, "RfftPlan: length must be a power of two >= 2");
+  detail::require(half.size() == n / 2, "RfftPlan: half plan size mismatch");
+  const std::size_t m = n / 2;
+  w_.resize(m / 2 + 1);
+  for (std::size_t k = 0; k <= m / 2; ++k) {
+    const double a = -two_pi * static_cast<double>(k) / static_cast<double>(n);
+    w_[k] = cplx(std::cos(a), std::sin(a));
+  }
+}
+
+void RfftPlan::forward(const double* x, cplx* spec) const noexcept {
+  const std::size_t m = n_ / 2;
+  // Pack pairs of reals into the half-length complex buffer z[j] =
+  // x[2j] + i*x[2j+1] and transform once at size m.
+  for (std::size_t j = 0; j < m; ++j) spec[j] = cplx(x[2 * j], x[2 * j + 1]);
+  half_->forward(spec);
+  // Disentangle: with E/O the spectra of the even/odd subsequences,
+  //   E[k] = (Z[k] + conj(Z[m-k])) / 2,  O[k] = (Z[k] - conj(Z[m-k])) / (2i),
+  //   X[k] = E[k] + W_n^k * O[k],        X[m-k] = conj(E[k] - W_n^k * O[k]).
+  const cplx z0 = spec[0];
+  spec[0] = cplx(z0.real() + z0.imag(), 0.0);
+  spec[m] = cplx(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < m - k; ++k) {
+    const cplx a = spec[k];
+    const cplx b = spec[m - k];
+    const cplx e = 0.5 * (a + std::conj(b));
+    const cplx o = cplx(0.0, -0.5) * (a - std::conj(b));
+    const cplx t = w_[k] * o;
+    spec[k] = e + t;
+    spec[m - k] = std::conj(e - t);
+  }
+  // Self-paired bin k = m/2: W_n^{m/2} = -i collapses to a conjugation.
+  if (m >= 2) spec[m / 2] = std::conj(spec[m / 2]);
+}
+
+void RfftPlan::inverse(cplx* spec, double* x) const noexcept {
+  const std::size_t m = n_ / 2;
+  // Re-entangle the half spectrum into the packed half-length transform:
+  //   E[k] = (X[k] + conj(X[m-k])) / 2,
+  //   O[k] = conj(W_n^k) * (X[k] - conj(X[m-k])) / 2,
+  //   Z[k] = E[k] + i * O[k].
+  // Bin 0 folds X[0] and X[m] (imaginary parts ignored: they are zero for
+  // any spectrum of a real signal, and for products of such spectra).
+  const double x0 = spec[0].real();
+  const double xm = spec[m].real();
+  spec[0] = cplx(0.5 * (x0 + xm), 0.5 * (x0 - xm));
+  for (std::size_t k = 1; k < m - k; ++k) {
+    const cplx a = spec[k];
+    const cplx b = spec[m - k];
+    const cplx e = 0.5 * (a + std::conj(b));
+    const cplx o = std::conj(w_[k]) * (0.5 * (a - std::conj(b)));
+    spec[k] = e + cplx(-o.imag(), o.real());
+    spec[m - k] = std::conj(e) + cplx(o.imag(), o.real());
+  }
+  if (m >= 2) spec[m / 2] = std::conj(spec[m / 2]);
+  // The half plan's 1/m scale is exactly the 1/n the real transform needs
+  // once the factor-of-two packing is unwound.
+  half_->inverse(spec);
+  for (std::size_t j = 0; j < m; ++j) {
+    x[2 * j] = spec[j].real();
+    x[2 * j + 1] = spec[j].imag();
+  }
+}
+
+const RfftPlan& rfft_plan(std::size_t n) {
+  detail::require(is_pow2(n) && n >= 2, "rfft_plan: length must be a power of two >= 2");
+  // Resolve the half-size complex plan before taking the lock below —
+  // fft_plan() serializes on the same mutex.
+  const FftPlan& half = fft_plan(n / 2);
+  static std::map<std::size_t, std::unique_ptr<RfftPlan>>* cache =
+      new std::map<std::size_t, std::unique_ptr<RfftPlan>>();
+  const std::lock_guard<std::mutex> lock(g_plan_mutex);
+  auto& slot = (*cache)[n];
+  if (slot == nullptr) {
+    ++g_plan_misses;
+    slot = std::make_unique<RfftPlan>(n, half);
+  } else {
+    ++g_plan_hits;
+  }
+  return *slot;
+}
+
 // ----------------------------------------------------------- free helpers ----
 
 void fft_inplace(CplxVec& x) {
@@ -146,6 +231,33 @@ CplxVec ifft(const CplxVec& x) {
   CplxVec buf = x;
   ifft_inplace(buf);
   return buf;
+}
+
+CplxVec rfft(const RealVec& x, std::size_t n) {
+  if (x.empty() && n == 0) return {};
+  std::size_t len = (n == 0) ? next_pow2(x.size()) : n;
+  if (len < 2) len = 2;
+  detail::require(is_pow2(len), "rfft: requested length must be a power of two");
+  const RfftPlan& plan = rfft_plan(len);
+  RealVec padded(len, 0.0);
+  const std::size_t copy = std::min(len, x.size());
+  for (std::size_t i = 0; i < copy; ++i) padded[i] = x[i];
+  CplxVec spec(plan.bins());
+  plan.forward(padded.data(), spec.data());
+  return spec;
+}
+
+RealVec irfft(const CplxVec& spec, std::size_t out_len) {
+  if (spec.empty()) return {};
+  detail::require(spec.size() >= 2 && is_pow2(spec.size() - 1),
+                  "irfft: spectrum must have 2^k + 1 bins");
+  const std::size_t len = 2 * (spec.size() - 1);
+  const RfftPlan& plan = rfft_plan(len);
+  CplxVec scratch = spec;  // inverse() consumes its input
+  RealVec out(len);
+  plan.inverse(scratch.data(), out.data());
+  if (out_len != 0 && out_len < out.size()) out.resize(out_len);
+  return out;
 }
 
 RealVec power_bins(const CplxVec& spectrum) {

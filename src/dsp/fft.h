@@ -57,6 +57,50 @@ class FftPlan {
 /// the returned reference stays valid for the lifetime of the process.
 const FftPlan& fft_plan(std::size_t n);
 
+/// A real-input FFT of one fixed even power-of-two size \p n, built on a
+/// half-size complex plan via the pack-two-reals identity: the n real
+/// samples are viewed as n/2 complex samples, transformed once, and the
+/// even/odd spectra are disentangled with one extra O(n) pass. One real
+/// transform therefore costs roughly half of the equivalent complex one —
+/// which is what makes it the right engine for real x real overlap-save
+/// convolution (src/dsp/fast_convolve.cpp).
+///
+/// The spectrum representation is the usual half-spectrum: bins()
+/// == n/2 + 1 complex bins X[0..n/2], where X[0] and X[n/2] carry the DC
+/// and Nyquist terms (real for real input; the imaginary parts of those
+/// two bins are ignored by inverse()). The remaining bins of the full
+/// spectrum are implied by conjugate symmetry X[n-k] = conj(X[k]).
+///
+/// Like FftPlan, execution is const, allocation-free and re-entrant.
+class RfftPlan {
+ public:
+  /// Builds tables for length \p n (power of two, >= 2). \p half must be
+  /// the cached plan of size n/2; rfft_plan(n) supplies it.
+  RfftPlan(std::size_t n, const FftPlan& half);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Number of spectrum bins: n/2 + 1.
+  [[nodiscard]] std::size_t bins() const noexcept { return n_ / 2 + 1; }
+
+  /// Forward real DFT: reads x[0..n), writes spec[0..n/2]. The buffers
+  /// may not alias. No allocation.
+  void forward(const double* x, cplx* spec) const noexcept;
+
+  /// Inverse real DFT including the 1/n scale: consumes spec[0..n/2]
+  /// (destroys the buffer — it is used as scratch for the half-size
+  /// transform) and writes x[0..n). The buffers may not alias.
+  void inverse(cplx* spec, double* x) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  const FftPlan* half_ = nullptr;  ///< cached plan of size n/2
+  CplxVec w_;                      ///< W_n^k = exp(-2*pi*i*k/n), k in [0, n/4]
+};
+
+/// The process-wide real-plan cache, sharing hit/miss accounting with
+/// fft_plan(). \p n must be a power of two >= 2.
+const RfftPlan& rfft_plan(std::size_t n);
+
 /// Cumulative hit/miss accounting of the fft_plan cache since process
 /// start. A hit serves an existing plan; a miss pays the twiddle and
 /// bit-reversal table construction. The telemetry layer (src/obs/) reports
@@ -83,6 +127,18 @@ CplxVec fft(const RealVec& x, std::size_t n = 0);
 
 /// Out-of-place inverse FFT.
 CplxVec ifft(const CplxVec& x);
+
+/// Out-of-place forward real FFT returning the half spectrum X[0..n/2]
+/// (n/2 + 1 bins, conjugate symmetry implied). Zero-pads to the next
+/// power of two >= 2 when \p n == 0, otherwise pads/truncates to \p n
+/// (which must be a power of two >= 2). Empty input with n == 0 returns
+/// an empty vector.
+CplxVec rfft(const RealVec& x, std::size_t n = 0);
+
+/// Inverse of rfft: takes a half spectrum of m + 1 bins (m a power of
+/// two) and returns the length-2m real signal, truncated to \p out_len
+/// when nonzero. An empty spectrum returns an empty vector.
+RealVec irfft(const CplxVec& spec, std::size_t out_len = 0);
 
 /// Magnitude-squared of each FFT bin, |X[k]|^2.
 RealVec power_bins(const CplxVec& spectrum);

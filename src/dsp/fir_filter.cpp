@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dsp/correlator.h"
 #include "dsp/fast_convolve.h"
 
 namespace uwb::dsp {
@@ -63,7 +64,79 @@ CplxVec convolve(const CplxVec& x, const CplxVec& h) {
 
 RealVec convolve_same(const RealVec& x, const RealVec& h) {
   if (x.empty() || h.empty()) return {};
-  return take_same(convolve(x, h), x.size(), h.size());
+  if (use_fft_convolve(x.size(), h.size(), ConvKind::kRealReal)) {
+    return take_same(convolve(x, h), x.size(), h.size());
+  }
+  RealVec y(x.size());
+  convolve_same_to(x.data(), x.size(), h, y.data());
+  return y;
+}
+
+namespace {
+
+/// Direct "same"-mode kernel shared by the double and float entry points.
+/// Gather form over reversed taps: the scatter full convolution adds
+/// x[i]*h[k] in ascending-i order, which for a fixed output is descending-k
+/// -- i.e. ascending over the reversed kernel. Accumulating that way keeps
+/// every double output bit-identical to convolve_same() while the interior
+/// runs contiguous-stride through dot_bank's vectorized lag blocks.
+template <typename T>
+void convolve_same_direct(const T* x, std::size_t x_len, const RealVec& h, T* y) {
+  const std::size_t h_len = h.size();
+  const std::size_t start = (h_len - 1) / 2;
+  constexpr std::size_t kMaxStackTaps = 256;
+  T stack_taps[kMaxStackTaps];
+  std::vector<T> heap_taps;
+  T* r = stack_taps;
+  if (h_len > kMaxStackTaps) {
+    heap_taps.resize(h_len);
+    r = heap_taps.data();
+  }
+  for (std::size_t m = 0; m < h_len; ++m) r[m] = static_cast<T>(h[h_len - 1 - m]);
+
+  const auto n = static_cast<std::ptrdiff_t>(x_len);
+  const auto edge_out = [&](std::size_t j) {
+    const std::ptrdiff_t off =
+        static_cast<std::ptrdiff_t>(j + start) - static_cast<std::ptrdiff_t>(h_len - 1);
+    const std::size_t m_lo = off < 0 ? static_cast<std::size_t>(-off) : 0;
+    const std::ptrdiff_t m_hi = std::min(static_cast<std::ptrdiff_t>(h_len), n - off);
+    T acc{};
+    for (std::size_t m = m_lo; static_cast<std::ptrdiff_t>(m) < m_hi; ++m) {
+      acc += x[off + static_cast<std::ptrdiff_t>(m)] * r[m];
+    }
+    y[j] = acc;
+  };
+
+  const std::size_t head_end = std::min(h_len - 1 - start, x_len);
+  for (std::size_t j = 0; j < head_end; ++j) edge_out(j);
+  if (x_len >= h_len) {
+    dot_bank(x, x_len - h_len + 1, r, h_len, y + head_end);
+    for (std::size_t j = x_len - start; j < x_len; ++j) edge_out(j);
+  } else {
+    for (std::size_t j = head_end; j < x_len; ++j) edge_out(j);
+  }
+}
+
+}  // namespace
+
+void convolve_same_to(const double* x, std::size_t x_len, const RealVec& h, double* y) {
+  const std::size_t h_len = h.size();
+  if (x_len == 0 || h_len == 0) return;
+  if (use_fft_convolve(x_len, h_len, ConvKind::kRealReal)) {
+    const std::size_t start = (h_len - 1) / 2;
+    const RealVec xin(x, x + x_len);
+    RealVec full;
+    ols_convolve(xin, h, full, thread_fft_workspace());
+    std::copy(full.begin() + static_cast<std::ptrdiff_t>(start),
+              full.begin() + static_cast<std::ptrdiff_t>(start + x_len), y);
+    return;
+  }
+  convolve_same_direct(x, x_len, h, y);
+}
+
+void convolve_same_to(const float* x, std::size_t x_len, const RealVec& h, float* y) {
+  if (x_len == 0 || h.empty()) return;
+  convolve_same_direct(x, x_len, h, y);
 }
 
 CplxVec convolve_same(const CplxVec& x, const RealVec& h) {

@@ -77,6 +77,20 @@ CplxVec convolve(const CplxVec& x, const CplxVec& h);
 /// delay compensated (for symmetric kernels centred at (|h|-1)/2).
 RealVec convolve_same(const RealVec& x, const RealVec& h);
 
+/// "Same"-mode real convolution into a caller-owned buffer \p y of length
+/// \p x_len (no allocation beyond a small reversed-tap scratch). Hot-path
+/// form for per-packet workspaces: bit-identical to convolve_same(x, h) --
+/// the direct path runs a blocked gather kernel whose per-output tap order
+/// matches the scatter form exactly, and FFT-worthy kernels fall through to
+/// the same overlap-save engine.
+void convolve_same_to(const double* x, std::size_t x_len, const RealVec& h, double* y);
+
+/// Single-precision "same"-mode convolution into a caller-owned buffer (the
+/// gen-1 float sample arena). Same blocked gather kernel at twice the SIMD
+/// width; always direct -- the float pipeline's anti-alias filter sits far
+/// below the FFT crossover. Taps are converted to float once per call.
+void convolve_same_to(const float* x, std::size_t x_len, const RealVec& h, float* y);
+
 /// "Same"-mode convolution for complex input with real kernel.
 CplxVec convolve_same(const CplxVec& x, const RealVec& h);
 

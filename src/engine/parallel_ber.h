@@ -41,12 +41,30 @@ using TrialFn = std::function<sim::TrialOutcome(std::size_t index, Rng& rng)>;
 /// order (that is what makes the parallel result deterministic).
 using TrialFactory = std::function<TrialFn()>;
 
-/// Sequential reference implementation: trial i runs with root.fork(i);
-/// stops once the error budget (bit errors, or failed trials of
-/// stop.metric when set), max_bits bits, or max_trials trials are reached
-/// (max_trials is a hard stop even when no errors accumulate). \p ci_method
-/// selects the two-sided interval the finished point reports (weighted
-/// points always report the normal interval regardless).
+/// Batched execution: one call runs the contiguous trials
+/// [first, first+count) and writes trial first+k's outcome to out[k]. Each
+/// trial must still be a pure function of root.fork(index) -- batching only
+/// lets a worker share per-batch state across its claim (e.g. the grouped
+/// channel-realization pass in txrx::PacketBatch). The engine commits the
+/// outcomes one trial at a time in global index order, so the measured
+/// point is byte-identical for any batch size.
+using BatchFn = std::function<void(std::size_t first, std::size_t count, const Rng& root,
+                                   sim::TrialOutcome* out)>;
+
+/// Per-worker factory for BatchFn, same contract as TrialFactory.
+using BatchFactory = std::function<BatchFn()>;
+
+/// Sequential semantics: trial i runs with root.fork(i); stops once the
+/// error budget (bit errors, or failed trials of stop.metric when set),
+/// max_bits bits, or max_trials trials are reached (max_trials is a hard
+/// stop even when no errors accumulate). \p ci_method selects the two-sided
+/// interval the finished point reports (weighted points always report the
+/// normal interval regardless).
+///
+/// This is a thin adapter over measure_point_parallel on a single-worker
+/// pool -- the ordered-commit engine is the only trial loop in the tree, and
+/// its single-worker execution IS the sequential semantics (committed
+/// prefix, stopping rule, result bytes).
 sim::MeasuredPoint measure_point_serial(
     const TrialFn& trial, const sim::BerStop& stop, const Rng& root,
     stats::CiMethod ci_method = stats::CiMethod::kClopperPearson);
@@ -83,10 +101,23 @@ struct PointHooks {
 /// workers claim trial indices, run them speculatively within a bounded
 /// window ahead of the commit frontier, and commit in index order.
 /// Outcomes past the stopping point are discarded, exactly as if they had
-/// never run.
+/// never run. (Adapter over measure_point_batched at batch size 1.)
 sim::MeasuredPoint measure_point_parallel(
     const TrialFactory& factory, const sim::BerStop& stop, const Rng& root,
     ThreadPool& pool, const PointHooks& hooks = {},
+    stats::CiMethod ci_method = stats::CiMethod::kClopperPearson);
+
+/// The ordered-commit core with batched claims: workers claim contiguous
+/// ranges of \p batch_size trial indices (clamped at the trial cap) and run
+/// each range through one BatchFn call, still bounded by the speculation
+/// window and still committing per trial in global index order. The set of
+/// committed trials is therefore exactly the sequential loop's prefix, and
+/// the measured point -- counters, metric reductions, result-document bytes
+/// -- is identical for ANY (batch_size, worker count) combination (tested
+/// at B in {1,4,16} x workers in {1,8}).
+sim::MeasuredPoint measure_point_batched(
+    const BatchFactory& factory, std::size_t batch_size, const sim::BerStop& stop,
+    const Rng& root, ThreadPool& pool, const PointHooks& hooks = {},
     stats::CiMethod ci_method = stats::CiMethod::kClopperPearson);
 
 /// BER-only convenience wrappers (drop the metric reductions).

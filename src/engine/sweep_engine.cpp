@@ -12,6 +12,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "txrx/link.h"
+#include "txrx/packet_batch.h"
 
 namespace uwb::engine {
 
@@ -22,52 +23,29 @@ constexpr uint64_t kTrialStreamSalt = 0;
 constexpr uint64_t kLinkSeedSalt = 1;
 
 /// Worker-local trial state for one grid point: the factory hands every
-/// worker its own link (links are not safe for concurrent trials), all
-/// built from the same seed so the simulated hardware is identical. For
-/// ensemble-mode points the shared realizations ride along and trial i
-/// resolves to realization i % count -- index-keyed, so any worker gets
-/// the same channel for the same trial.
-TrialFactory make_trial_factory(const PointSpec& spec, uint64_t link_seed,
+/// worker its own link (links are not safe for concurrent trials) wrapped
+/// in a txrx::PacketBatch, all built from the same seed so the simulated
+/// hardware is identical. For ensemble-mode points the shared realizations
+/// ride along and trial i resolves to realization i % count -- index-keyed,
+/// so any worker gets the same channel for the same trial, and the batch
+/// executor groups same-realization trials to reuse per-realization link
+/// state. The per-trial outcome conversion (sampling context, metric
+/// filtering) lives in PacketBatch::run_one.
+BatchFactory make_batch_factory(const PointSpec& spec, uint64_t link_seed,
                                 std::shared_ptr<const ChannelEnsemble> ensemble) {
-  return [&spec, link_seed, ensemble]() -> TrialFn {
+  return [&spec, link_seed, ensemble]() -> BatchFn {
     std::shared_ptr<txrx::Link> link = txrx::make_link(spec.link, link_seed);
-    return [&spec, link, ensemble](std::size_t index, Rng& rng) {
-      txrx::TrialContext context;
-      if (ensemble != nullptr) context.channel = &ensemble->realization_for_trial(index);
-      const stats::SamplingPolicy& sampling = spec.link.options.sampling;
-      if (sampling.active()) {
-        // Index-keyed bias resolution (like the ensemble realization
-        // above): trial i's scale and target-bit stratum depend only on i,
-        // so weighted sweeps stay deterministic for any worker count.
-        context.noise_scale = stats::trial_noise_scale(sampling, index);
-        context.sampling_trial = index;
-        context.sampling_resolved = true;
-      }
-      txrx::TrialResult trial = link->run_packet(spec.link.options, rng, context);
-      sim::TrialOutcome out;
-      out.bits = trial.bits;
-      out.errors = trial.errors;
-      // The importance weight bypasses the record_metrics filter: it is
-      // estimator state, not an optional observable.
-      if (const std::optional<double> llr = trial.metric(txrx::metric_names::kIsLlr)) {
-        out.log_weight = *llr;
-        out.weighted = true;
-      }
-      // record_metrics filters AND orders the recorded reductions; empty
-      // means record everything the trial emitted, in emission order.
-      const std::vector<std::string>& wanted = spec.link.options.record_metrics;
-      if (wanted.empty()) {
-        out.metrics = std::move(trial.metrics);
-      } else {
-        out.metrics.reserve(wanted.size());
-        for (const std::string& name : wanted) {
-          if (const std::optional<double> value = trial.metric(name)) {
-            out.metrics.emplace_back(name, *value);
-          }
-        }
-      }
-      return out;
-    };
+    txrx::ChannelResolver resolver;
+    if (ensemble != nullptr) {
+      resolver = [ensemble](std::size_t index) -> const channel::Cir* {
+        return &ensemble->realization_for_trial(index);
+      };
+    }
+    auto executor = std::make_shared<txrx::PacketBatch>(std::move(link),
+                                                        spec.link.options,
+                                                        std::move(resolver));
+    return [executor](std::size_t first, std::size_t count, const Rng& root,
+                      sim::TrialOutcome* out) { executor->run(first, count, root, out); };
   };
 }
 
@@ -207,9 +185,9 @@ SweepResult SweepEngine::run(const ScenarioSpec& scenario,
     if (config_.profile != nullptr) config_.profile->reset();
 
     const auto start = std::chrono::steady_clock::now();
-    sim::MeasuredPoint measured = measure_point_parallel(
-        make_trial_factory(spec, link_seed, std::move(ensemble)), config_.stop, trial_root,
-        pool, hooks, config_.ci_method);
+    sim::MeasuredPoint measured = measure_point_batched(
+        make_batch_factory(spec, link_seed, std::move(ensemble)), config_.batch_size,
+        config_.stop, trial_root, pool, hooks, config_.ci_method);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
     if (hooks.cancelled()) {
@@ -349,9 +327,9 @@ SweepResult SweepEngine::run_adaptive(const ScenarioSpec& scenario,
       obs::Span span(config_.trace, "engine", "topup " + rec.spec.label);
       if (config_.profile != nullptr) config_.profile->reset();
       const auto start = std::chrono::steady_clock::now();
-      sim::MeasuredPoint measured = measure_point_parallel(
-          make_trial_factory(rec.spec, link_seed, std::move(ensemble)), stop, trial_root,
-          pool, hooks, config_.ci_method);
+      sim::MeasuredPoint measured = measure_point_batched(
+          make_batch_factory(rec.spec, link_seed, std::move(ensemble)), config_.batch_size,
+          stop, trial_root, pool, hooks, config_.ci_method);
       span.finish();
       if (config_.profile != nullptr) {
         // A top-up replays the committed prefix then extends it; its stage

@@ -9,8 +9,9 @@ namespace uwb::obs {
 namespace {
 
 constexpr const char* kStageNames[kStageCount] = {
-    "tx_modulate",    "channel_convolve", "rx_frontend", "adc_quantize",
-    "sync_acquire",   "correlate_rake",   "demod_decide", "fft_exec",
+    "tx_modulate",    "channel_convolve", "channel_noise", "rx_frontend",
+    "adc_quantize",   "sync_acquire",     "correlate_rake", "demod_decide",
+    "fft_exec",
 };
 
 std::atomic<std::uint64_t> g_next_profiler_id{1};

@@ -52,6 +52,7 @@ namespace uwb::obs {
 enum class Stage : std::uint8_t {
   kTxModulate = 0,   ///< pulse shaping + modulation (txrx transmit)
   kChannelConvolve,  ///< CIR convolution of the transmitted waveform
+  kChannelNoise,     ///< AWGN synthesis + addition over the analog waveform
   kRxFrontend,       ///< analog chain: mixer/LNA model, FIRs, sampling
   kAdcQuantize,      ///< flash / SAR conversion of the sampled waveform
   kSyncAcquire,      ///< acquisition + channel estimation

@@ -5,6 +5,8 @@
 #include "channel/awgn.h"
 #include "channel/interferer.h"
 #include "common/error.h"
+#include "dsp/fast_convolve.h"
+#include "dsp/fir_filter.h"
 #include "fec/viterbi_decoder.h"
 #include "obs/profile.h"
 
@@ -473,20 +475,77 @@ Gen1Link::Gen1Link(const Gen1Config& config, uint64_t seed)
   caps_.bit_rate_hz = config_.bit_rate_hz();
 }
 
+const RealVec& Gen1Link::composite_kernel(const channel::Cir& cir) {
+  if (!g_kernel_.empty() && cir.taps() == g_key_taps_) return g_kernel_;
+  const CplxVec hc = cir.sampled(config_.analog_fs);
+  RealVec hr(hc.size());
+  for (std::size_t i = 0; i < hc.size(); ++i) hr[i] = hc[i].real();
+  g_kernel_ = dsp::convolve(tx_.prototype().samples(), hr);
+  g_key_taps_ = cir.taps();
+  // The kernel itself stays double precision (computed once per
+  // realization); the per-packet scatter reads the float mirror.
+  g_kernel_f_.resize(g_kernel_.size());
+  for (std::size_t i = 0; i < g_kernel_.size(); ++i) {
+    g_kernel_f_[i] = static_cast<float>(g_kernel_[i]);
+  }
+  return g_kernel_;
+}
+
+const dsp::AlignedVec<float>& Gen1Link::prototype_f() {
+  const RealVec& proto = tx_.prototype().samples();
+  if (proto_f_.size() != proto.size()) {
+    proto_f_.resize(proto.size());
+    for (std::size_t i = 0; i < proto.size(); ++i) {
+      proto_f_[i] = static_cast<float>(proto[i]);
+    }
+  }
+  return proto_f_;
+}
+
+std::span<const float> Gen1Link::scatter_and_noise(const std::vector<double>& amplitudes,
+                                                   std::size_t delay_frames,
+                                                   const dsp::AlignedVec<float>& kernel,
+                                                   double n0, Rng& rng) {
+  const std::size_t frame_samples = config_.frame_samples_analog();
+  const std::size_t delay_samples = delay_frames * frame_samples;
+  const std::size_t out_len =
+      delay_samples + frame_samples * amplitudes.size() + kernel.size();
+  // Tail pad so late fingers stay in range (the dense path's rx_wave.pad).
+  const auto pad = static_cast<std::size_t>(64e-9 * config_.analog_fs);
+  {
+    const obs::StageTimer timer(obs::Stage::kChannelConvolve, out_len);
+    rx_arena_.assign_zero(out_len + pad);
+    const float* src = kernel.data();
+    const std::size_t g_len = kernel.size();
+    for (std::size_t s = 0; s < amplitudes.size(); ++s) {
+      const auto a = static_cast<float>(amplitudes[s]);
+      float* dst = rx_arena_.data() + delay_samples + s * frame_samples;
+      for (std::size_t i = 0; i < g_len; ++i) dst[i] += a * src[i];
+    }
+  }
+  channel::add_awgn(rx_arena_.data(), rx_arena_.size(), n0, rng);
+  return {rx_arena_.data(), rx_arena_.size()};
+}
+
 namespace {
+
+/// The multipath realization a gen-1 trial must use (cm >= 1 only): the
+/// context's resolved ensemble realization, or a fresh per-trial draw.
+channel::Cir resolve_gen1_cir(const TrialOptions& options, const TrialContext& context,
+                              Rng& rng) {
+  if (const channel::Cir* fixed = ensemble_channel_or_throw(options, context)) {
+    return *fixed;
+  }
+  channel::SvParams params = channel::cm_by_index(options.cm);
+  params.complex_phases = false;  // real +/- polarity taps for passband
+  return channel::SalehValenzuela(params).realize(rng);
+}
 
 RealWaveform apply_gen1_channel(RealWaveform wave, const TrialOptions& options,
                                 const TrialContext& context, channel::Cir* out_cir,
                                 Rng& rng) {
   if (options.cm >= 1) {
-    channel::Cir cir;
-    if (const channel::Cir* fixed = ensemble_channel_or_throw(options, context)) {
-      cir = *fixed;
-    } else {
-      channel::SvParams params = channel::cm_by_index(options.cm);
-      params.complex_phases = false;  // real +/- polarity taps for passband
-      cir = channel::SalehValenzuela(params).realize(rng);
-    }
+    const channel::Cir cir = resolve_gen1_cir(options, context, rng);
     if (out_cir != nullptr) *out_cir = cir;
     obs::StageTimer ch_timer(obs::Stage::kChannelConvolve);
     RealWaveform out = cir.apply_real(wave);
@@ -496,6 +555,29 @@ RealWaveform apply_gen1_channel(RealWaveform wave, const TrialOptions& options,
   }
   if (out_cir != nullptr) *out_cir = channel::identity_cir();
   return wave;
+}
+
+/// Sparse-train channel apply: y[n] = sum_k a_k * g[n - delay - k*frame].
+/// Mathematically identical to convolving the dense train with the CIR
+/// (convolution distributes over the slot sum); the output length matches
+/// the dense path exactly: delay + frame*slots + |prototype| + |h| - 1
+/// == delay + frame*slots + |g|.
+RealWaveform apply_gen1_channel_sparse(const std::vector<double>& amplitudes,
+                                       std::size_t frame_samples,
+                                       std::size_t delay_samples, const RealVec& g,
+                                       double fs) {
+  const std::size_t out_len =
+      delay_samples + frame_samples * amplitudes.size() + g.size();
+  const obs::StageTimer timer(obs::Stage::kChannelConvolve, out_len);
+  RealVec y(out_len, 0.0);
+  const std::size_t g_len = g.size();
+  const double* src = g.data();
+  for (std::size_t s = 0; s < amplitudes.size(); ++s) {
+    const double a = amplitudes[s];
+    double* dst = y.data() + delay_samples + s * frame_samples;
+    for (std::size_t i = 0; i < g_len; ++i) dst[i] += a * src[i];
+  }
+  return {std::move(y), fs};
 }
 
 }  // namespace
@@ -534,74 +616,126 @@ Gen1TrialResult Gen1Link::run_packet_full(const TrialOptions& options, Rng& rng,
   Gen1TrialResult trial;
 
   const BitVec payload = rng.bits(options.payload_bits);
-  obs::StageTimer tx_timer(obs::Stage::kTxModulate);
-  auto [wave, frame] = tx_.transmit(payload);
-  tx_timer.add_samples(wave.size());
-  tx_timer.finish();
+
+  // With the fast-convolve policy on, the dense ~98%-zeros waveform is
+  // never synthesized: the transmitter emits per-frame amplitudes and the
+  // channel (identity for AWGN-only trials) lands as shift-adds of the
+  // composite kernel straight into the single-precision sample arena,
+  // where noise synthesis and the receiver also run. Importance-sampled
+  // trials stay on the double-waveform path: the tilt machinery snapshots
+  // and re-projects the waveform around the noise draw. The Rng draw order
+  // (payload bits, delay, fresh-realization draws, then noise) is shared
+  // by every path, so the pre-noise signal is the same experiment under
+  // any policy; the float path's noise realization differs by design (it
+  // runs the dedicated single-precision sampler, see channel/awgn.h).
+  const bool tilt_active = options.sampling.active();
+  const bool float_path = dsp::fast_convolve_enabled() && !tilt_active;
+  const bool sparse_channel =
+      !float_path && options.cm >= 1 && dsp::fast_convolve_enabled();
+
+  TxFrame frame;
+  RealWaveform wave;  // dense path only
+  Gen1Train train;    // float / sparse path only
+  {
+    obs::StageTimer tx_timer(obs::Stage::kTxModulate);
+    if (float_path || sparse_channel) {
+      train = tx_.transmit_train(payload);
+      frame = std::move(train.frame);
+      tx_timer.add_samples(train.amplitudes.size());
+    } else {
+      auto wf = tx_.transmit(payload);
+      wave = std::move(wf.first);
+      frame = std::move(wf.second);
+      tx_timer.add_samples(wave.size());
+    }
+  }
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {
     delay_frames = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
-    wave.delay_samples(delay_frames * config_.frame_samples_analog());
+    if (!float_path && !sparse_channel) {
+      wave.delay_samples(delay_frames * config_.frame_samples_analog());
+    }
   }
   trial.true_offset_adc = delay_frames * config_.frame_samples_adc;
 
-  channel::Cir cir = channel::identity_cir();
-  RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options, context, &cir, rng);
-  rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
-
-  // Importance sampling: the target data bit's received contribution is
-  // its pulses_per_bit spread-scrambled pulses through the same channel
-  // realization, landed after the preamble and the start delay.
-  const bool tilt_active = options.sampling.active();
-  std::size_t target_bit = 0;
-  TiltDirection<double> tilt;
-  if (tilt_active) {
-    (void)sampling_scale_or_throw(options, context);
-    target_bit = context.sampling_trial % frame.frame_bits.size();
-    const RealWaveform& proto = tx_.prototype();
-    const std::vector<double>& spread = tx_.spread_chips();
-    const std::size_t frame_samples = config_.frame_samples_analog();
-    const auto ppb = static_cast<std::size_t>(config_.pulses_per_bit);
-    std::vector<double> shape((ppb - 1) * frame_samples + proto.size(), 0.0);
-    for (std::size_t k = 0; k < ppb; ++k) {
-      const double chip = spread[k % spread.size()];
-      for (std::size_t i = 0; i < proto.size(); ++i) {
-        shape[k * frame_samples + i] += chip * proto[i];
-      }
-    }
-    if (options.cm >= 1) {
-      const RealWaveform filtered =
-          cir.apply_real(RealWaveform(std::move(shape), config_.analog_fs));
-      shape = filtered.samples();
-    }
-    const std::size_t bit_offset =
-        (delay_frames + tx_.preamble_frames() + target_bit * ppb) * frame_samples;
-    tilt = make_tilt_direction<double>(std::move(shape), bit_offset, rx_wave.size());
-  }
-
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  double log_weight = 0.0;
-  {
-    std::vector<double> clean;
-    if (tilt_active && tilt.usable) {
-      const auto first = static_cast<std::ptrdiff_t>(tilt.offset);
-      clean.assign(rx_wave.samples().begin() + first,
-                   rx_wave.samples().begin() + first +
-                       static_cast<std::ptrdiff_t>(tilt.unit.size()));
-    }
-    channel::add_awgn(rx_wave, n0, rng);
-    if (tilt_active) {
-      log_weight = apply_noise_tilt(rx_wave, clean, tilt, 0.5 * n0, options.sampling,
-                                    context.noise_scale, rng);
-    }
-  }
-
   Gen1RxOptions rx_opts;
   rx_opts.genie_timing = options.genie_timing;
   rx_opts.genie_offset = trial.true_offset_adc;
-  trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng);
+
+  double log_weight = 0.0;
+  std::size_t target_bit = 0;
+  if (float_path) {
+    const dsp::AlignedVec<float>* g = &prototype_f();
+    if (options.cm >= 1) {
+      const channel::Cir cir = resolve_gen1_cir(options, context, rng);
+      composite_kernel(cir);  // refreshes the float mirror on a new realization
+      g = &g_kernel_f_;
+    }
+    const std::span<const float> rx_span =
+        scatter_and_noise(train.amplitudes, delay_frames, *g, n0, rng);
+    trial.rx = rx_.receive(rx_span, config_.analog_fs, tx_, frame, rx_opts, rng);
+  } else {
+    channel::Cir cir = channel::identity_cir();
+    RealWaveform rx_wave;
+    if (sparse_channel) {
+      cir = resolve_gen1_cir(options, context, rng);
+      rx_wave = apply_gen1_channel_sparse(
+          train.amplitudes, config_.frame_samples_analog(),
+          delay_frames * config_.frame_samples_analog(), composite_kernel(cir),
+          config_.analog_fs);
+    } else {
+      rx_wave = apply_gen1_channel(std::move(wave), options, context, &cir, rng);
+    }
+    rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
+
+    // Importance sampling: the target data bit's received contribution is
+    // its pulses_per_bit spread-scrambled pulses through the same channel
+    // realization, landed after the preamble and the start delay.
+    TiltDirection<double> tilt;
+    if (tilt_active) {
+      (void)sampling_scale_or_throw(options, context);
+      target_bit = context.sampling_trial % frame.frame_bits.size();
+      const RealWaveform& proto = tx_.prototype();
+      const std::vector<double>& spread = tx_.spread_chips();
+      const std::size_t frame_samples = config_.frame_samples_analog();
+      const auto ppb = static_cast<std::size_t>(config_.pulses_per_bit);
+      std::vector<double> shape((ppb - 1) * frame_samples + proto.size(), 0.0);
+      for (std::size_t k = 0; k < ppb; ++k) {
+        const double chip = spread[k % spread.size()];
+        for (std::size_t i = 0; i < proto.size(); ++i) {
+          shape[k * frame_samples + i] += chip * proto[i];
+        }
+      }
+      if (options.cm >= 1) {
+        const RealWaveform filtered =
+            cir.apply_real(RealWaveform(std::move(shape), config_.analog_fs));
+        shape = filtered.samples();
+      }
+      const std::size_t bit_offset =
+          (delay_frames + tx_.preamble_frames() + target_bit * ppb) * frame_samples;
+      tilt = make_tilt_direction<double>(std::move(shape), bit_offset, rx_wave.size());
+    }
+
+    {
+      std::vector<double> clean;
+      if (tilt_active && tilt.usable) {
+        const auto first = static_cast<std::ptrdiff_t>(tilt.offset);
+        clean.assign(rx_wave.samples().begin() + first,
+                     rx_wave.samples().begin() + first +
+                         static_cast<std::ptrdiff_t>(tilt.unit.size()));
+      }
+      channel::add_awgn(rx_wave, n0, rng);
+      if (tilt_active) {
+        log_weight = apply_noise_tilt(rx_wave, clean, tilt, 0.5 * n0, options.sampling,
+                                      context.noise_scale, rng);
+      }
+    }
+
+    trial.rx = rx_.receive(rx_wave, tx_, frame, rx_opts, rng);
+  }
   trial.bits = trial.rx.bits_compared;
   trial.errors = trial.rx.bit_errors;
   if (!options.genie_timing && !trial.rx.acq.acquired) {
@@ -636,27 +770,51 @@ Gen1Link::AcqTrial Gen1Link::run_acquisition(const TrialOptions& options, Rng& r
   AcqTrial out;
 
   const BitVec payload = rng.bits(options.payload_bits);
-  obs::StageTimer tx_timer(obs::Stage::kTxModulate);
-  auto [wave, frame] = tx_.transmit(payload);
-  tx_timer.add_samples(wave.size());
-  tx_timer.finish();
+  // Same path split as run_packet_full (acquisition trials never tilt).
+  const bool float_path = dsp::fast_convolve_enabled();
+
+  TxFrame frame;
+  RealWaveform wave;  // dense path only
+  Gen1Train train;    // float path only
+  {
+    obs::StageTimer tx_timer(obs::Stage::kTxModulate);
+    if (float_path) {
+      train = tx_.transmit_train(payload);
+      frame = std::move(train.frame);
+      tx_timer.add_samples(train.amplitudes.size());
+    } else {
+      auto wf = tx_.transmit(payload);
+      wave = std::move(wf.first);
+      frame = std::move(wf.second);
+      tx_timer.add_samples(wave.size());
+    }
+  }
 
   std::size_t delay_frames = 0;
   if (options.start_delay_max_frames > 0) {
     delay_frames = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<int>(options.start_delay_max_frames)));
-    wave.delay_samples(delay_frames * config_.frame_samples_analog());
+    if (!float_path) wave.delay_samples(delay_frames * config_.frame_samples_analog());
   }
   const std::size_t true_offset = delay_frames * config_.frame_samples_adc;
 
-  RealWaveform rx_wave =
-      apply_gen1_channel(std::move(wave), options, context, nullptr, rng);
-  rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
-
   const double n0 = channel::n0_for_ebn0(frame.energy_per_bit, options.ebn0_db);
-  channel::add_awgn(rx_wave, n0, rng);
-
-  out.acq = rx_.acquire(rx_wave, tx_, rng);
+  if (float_path) {
+    const dsp::AlignedVec<float>* g = &prototype_f();
+    if (options.cm >= 1) {
+      const channel::Cir cir = resolve_gen1_cir(options, context, rng);
+      composite_kernel(cir);
+      g = &g_kernel_f_;
+    }
+    const std::span<const float> rx_span =
+        scatter_and_noise(train.amplitudes, delay_frames, *g, n0, rng);
+    out.acq = rx_.acquire(rx_span, config_.analog_fs, tx_, rng);
+  } else {
+    RealWaveform rx_wave = apply_gen1_channel(std::move(wave), options, context, nullptr, rng);
+    rx_wave.pad(static_cast<std::size_t>(64e-9 * config_.analog_fs));
+    channel::add_awgn(rx_wave, n0, rng);
+    out.acq = rx_.acquire(rx_wave, tx_, rng);
+  }
   out.true_offset_adc = true_offset;
 
   // Compare timing modulo one PN period (the residual ambiguity the SFD

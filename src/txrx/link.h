@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <variant>
@@ -21,6 +22,7 @@
 
 #include "channel/saleh_valenzuela.h"
 #include "common/rng.h"
+#include "dsp/aligned.h"
 #include "fec/convolutional.h"
 #include "stats/sampling.h"
 #include "txrx/receiver_gen1.h"
@@ -420,10 +422,39 @@ class Gen1Link final : public Link {
                                          const TrialContext& context = TrialContext{});
 
  private:
+  /// The composite kernel g = pulse prototype convolved with the sampled
+  /// CIR, driving the sparse pulse-train channel path: the tx waveform is
+  /// a few monocycle samples per PRF frame, so the channel output is
+  /// sum_k a_k * g[n - k*frame] at ~2% of the dense convolution's cost.
+  /// Cached against the exact tap list: in ensemble mode every packet of a
+  /// sweep point shares one realization, so g is computed once per point.
+  /// g is a pure function of (taps, config) -- caching cannot change
+  /// results for any worker count or trial order. Rebuilds also refresh the
+  /// float mirror g_kernel_f_ that the single-precision scatter path reads.
+  const RealVec& composite_kernel(const channel::Cir& cir);
+
+  /// Float mirror of the prototype pulse (the AWGN-only scatter kernel),
+  /// built on first use.
+  const dsp::AlignedVec<float>& prototype_f();
+
+  /// Sparse pulse-train synthesis + channel + AWGN straight into the
+  /// single-precision sample arena: y[n] += a_s * g[n - delay - s*frame]
+  /// over \p kernel, then float noise at \p n0. Returns the arena span the
+  /// receiver's float overloads consume.
+  std::span<const float> scatter_and_noise(const std::vector<double>& amplitudes,
+                                           std::size_t delay_frames,
+                                           const dsp::AlignedVec<float>& kernel, double n0,
+                                           Rng& rng);
+
   Gen1Config config_;
   LinkCaps caps_;
   Gen1Transmitter tx_;
   Gen1Receiver rx_;
+  std::vector<channel::CirTap> g_key_taps_;  ///< taps g_kernel_ was built from
+  RealVec g_kernel_;
+  dsp::AlignedVec<float> g_kernel_f_;  ///< float mirror of g_kernel_
+  dsp::AlignedVec<float> proto_f_;     ///< float mirror of the prototype pulse
+  dsp::AlignedVec<float> rx_arena_;    ///< per-packet received-sample arena
 };
 
 }  // namespace uwb::txrx

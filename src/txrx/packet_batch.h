@@ -1,0 +1,68 @@
+#pragma once
+/// \file packet_batch.h
+/// \brief Worker-local batched packet executor: runs a contiguous claim of
+///        trial indices through one link, grouping trials that share a
+///        cached channel realization so the link's composite-kernel cache
+///        is hit once per realization per batch instead of rebuilt per
+///        trial.
+///
+/// Determinism contract (what lets the engine hand out batches of any size
+/// without changing a single byte of the result document): every trial in
+/// the batch draws all of its randomness from `root.fork(index)` -- exactly
+/// the stream the unbatched path uses -- and its outcome lands in the output
+/// slot `index - first`. Batching only changes the *execution* order inside
+/// one worker's claim; the engine still commits outcomes one trial at a time
+/// in global index order under the stopping rule (engine/parallel_ber.h), so
+/// results are byte-identical for any batch size and any worker count.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/ber_simulator.h"
+#include "txrx/link.h"
+
+namespace uwb::txrx {
+
+/// Maps a global trial index to the shared channel realization the trial
+/// must use (nullptr = the trial draws a fresh channel from its own Rng).
+/// The sweep engine binds this to the point's resolved ChannelEnsemble;
+/// the mapping must be a pure function of the index.
+using ChannelResolver = std::function<const channel::Cir*(std::size_t index)>;
+
+/// One worker's batched trial executor for a single sweep point. Not safe
+/// for concurrent use (it drives one Link); the engine builds one per
+/// worker, like the unbatched trial closures.
+class PacketBatch {
+ public:
+  /// \p link is this worker's private link; \p options the point's trial
+  /// options (record_metrics filter and sampling policy included);
+  /// \p resolver the ensemble realization lookup (empty for fresh-draw
+  /// points).
+  PacketBatch(std::shared_ptr<Link> link, const TrialOptions& options,
+              ChannelResolver resolver = {});
+
+  /// Runs trials [first, first+count) and writes trial first+k's outcome to
+  /// out[k]. Trials resolving to the same realization execute back-to-back
+  /// (first-seen group order) so per-realization link state is built once;
+  /// every outcome is still a pure function of root.fork(index).
+  void run(std::size_t first, std::size_t count, const Rng& root,
+           sim::TrialOutcome* out);
+
+ private:
+  [[nodiscard]] sim::TrialOutcome run_one(std::size_t index, const channel::Cir* cir,
+                                          Rng& rng);
+
+  std::shared_ptr<Link> link_;
+  TrialOptions options_;
+  ChannelResolver resolver_;
+
+  // Batch scratch, reused across run() calls (zero steady-state
+  // allocations once warm): per-trial resolved realization and the
+  // group-ordered execution schedule.
+  std::vector<const channel::Cir*> cirs_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace uwb::txrx

@@ -1,5 +1,6 @@
 #include "txrx/receiver_gen1.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -21,43 +22,79 @@ Gen1Receiver::Gen1Receiver(const Gen1Config& config, Rng& rng)
                   "Gen1Receiver: analog rate must be >= ADC rate");
   anti_alias_taps_ =
       dsp::design_lowpass(0.45 * config.adc_rate, config.analog_fs, 63);
+  // Per-lane timing skew happens at the sample-and-hold; the skews are
+  // static converter mismatch, so build the table once.
+  lane_skews_s_.resize(static_cast<std::size_t>(adc_.num_lanes()));
+  for (int k = 0; k < adc_.num_lanes(); ++k) {
+    lane_skews_s_[static_cast<std::size_t>(k)] = adc_.lane_skew_s(k);
+  }
 }
 
-RealVec Gen1Receiver::digitize_and_filter(const RealWaveform& rx, const Gen1Transmitter& tx,
-                                          Rng& rng) {
+std::span<const float> Gen1Receiver::digitize_and_filter(const float* rx, std::size_t n,
+                                                         double fs, const Gen1Transmitter& tx,
+                                                         Rng& rng) {
   // Anti-alias lowpass at the converter's Nyquist edge: the analog front
-  // end band-limits before the 2 GSps sampler.
-  obs::StageTimer fe_timer(obs::Stage::kRxFrontend, rx.size());
-  RealWaveform filtered = dsp::filter_same(rx, anti_alias_taps_);
+  // end band-limits before the 2 GSps sampler. Runs the blocked gather FIR
+  // into the packet arena, no allocation.
+  obs::StageTimer fe_timer(obs::Stage::kRxFrontend, n);
+  ws_filtered_.resize(n);
+  dsp::convolve_same_to(rx, n, anti_alias_taps_, ws_filtered_.data());
 
-  // Scale into the converter's range: a converged AGC loads the flash at
-  // ~1/4 full scale rms (see rf::AgcParams).
-  RealWaveform scaled = std::move(filtered);
-  const double r = std::sqrt(mean_power(scaled.samples()));
-  if (r > 0.0) scaled.scale(0.25 / r);
-
-  // Per-lane timing skew happens at the sample-and-hold.
-  RealVec skews(static_cast<std::size_t>(adc_.num_lanes()));
-  for (int k = 0; k < adc_.num_lanes(); ++k) {
-    skews[static_cast<std::size_t>(k)] = adc_.lane_skew_s(k);
+  // AGC measurement on the filtered signal: a converged AGC loads the flash
+  // at ~1/4 full scale rms (see rf::AgcParams). The scale itself commutes
+  // with linear-interpolation sampling, so it is applied to the (2x
+  // shorter) sampled stream below rather than here.
+  // Four independent accumulators break the FP-add dependency chain (the
+  // power estimate is an AGC model input, not a bit-exact contract).
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto v0 = static_cast<double>(ws_filtered_[i]);
+    const auto v1 = static_cast<double>(ws_filtered_[i + 1]);
+    const auto v2 = static_cast<double>(ws_filtered_[i + 2]);
+    const auto v3 = static_cast<double>(ws_filtered_[i + 3]);
+    p0 += v0 * v0;
+    p1 += v1 * v1;
+    p2 += v2 * v2;
+    p3 += v3 * v3;
   }
-  const RealWaveform sampled = sampler_.sample_interleaved(scaled, skews, rng);
+  for (; i < n; ++i) {
+    const auto v = static_cast<double>(ws_filtered_[i]);
+    p0 += v * v;
+  }
+  const double power_acc = (p0 + p1) + (p2 + p3);
+  const double r = n > 0 ? std::sqrt(power_acc / static_cast<double>(n)) : 0.0;
+
+  const std::size_t n_adc = sampler_.output_size(n, fs);
+  ws_sampled_.resize(n_adc);
+  sampler_.sample_interleaved_to(ws_filtered_.data(), n, fs, lane_skews_s_, rng,
+                                 ws_sampled_.data());
+  if (r > 0.0) {
+    const auto gain = static_cast<float>(0.25 / r);
+    for (std::size_t i = 0; i < n_adc; ++i) ws_sampled_[i] *= gain;
+  }
   fe_timer.finish();
 
-  obs::StageTimer adc_timer(obs::Stage::kAdcQuantize, sampled.size());
+  obs::StageTimer adc_timer(obs::Stage::kAdcQuantize, n_adc);
   adc_.reset();
-  RealVec levels(sampled.size());
-  for (std::size_t i = 0; i < sampled.size(); ++i) {
-    levels[i] = adc_.level_of(adc_.convert(sampled[i]));
-  }
+  ws_levels_.resize(n_adc);
+  adc_.convert_block(ws_sampled_.data(), n_adc, ws_levels_.data());
   adc_timer.finish();
 
   // Matched filter with the monocycle.
-  const obs::StageTimer mf_timer(obs::Stage::kCorrelateRake, levels.size());
-  return dsp::correlate(levels, tx.pulse_taps_adc());
+  const obs::StageTimer mf_timer(obs::Stage::kCorrelateRake, n_adc);
+  const RealVec& taps = tx.pulse_taps_adc();
+  if (taps.empty() || n_adc < taps.size()) {
+    ws_mf_.resize(0);
+    return {};
+  }
+  ws_mf_.resize(n_adc - taps.size() + 1);
+  dsp::correlate_to(ws_levels_.data(), n_adc, taps, ws_mf_.data());
+  return {ws_mf_.data(), ws_mf_.size()};
 }
 
-Gen1AcqResult Gen1Receiver::acquire_on_mf(const RealVec& mf, const Gen1Transmitter& tx) const {
+Gen1AcqResult Gen1Receiver::acquire_on_mf(std::span<const float> mf,
+                                          const Gen1Transmitter& tx) const {
   const obs::StageTimer acq_timer(obs::Stage::kSyncAcquire, mf.size());
   Gen1AcqResult result;
   const std::size_t F = config_.frame_samples_adc;
@@ -83,16 +120,25 @@ Gen1AcqResult Gen1Receiver::acquire_on_mf(const RealVec& mf, const Gen1Transmitt
   };
   std::vector<Group> groups;
   const std::size_t last_group = num_frames - k1 - pn_len;
+  // Frame-major accumulation: the textbook phase-outer loop strides by F
+  // through mf on every read; sweeping each frame contiguously into a bank
+  // of per-phase accumulators touches the same values in the same per-phase
+  // order (k ascending), so the metrics are bit-identical while the inner
+  // loop vectorizes.
+  ws_acq_.resize(F);
   for (std::size_t j0 = 0; j0 <= last_group; j0 += k1) {
+    float* acc = ws_acq_.data();
+    std::fill(acc, acc + F, 0.0f);
+    for (std::size_t k = 0; k < k1; ++k) {
+      const float* frame = mf.data() + (j0 + k) * F;
+      for (std::size_t p = 0; p < F; ++p) {
+        acc[p] += frame[p] * frame[p];
+      }
+    }
     Group g;
     for (std::size_t p = 0; p < F; ++p) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < k1; ++k) {
-        const double v = mf[p + (j0 + k) * F];
-        acc += v * v;
-      }
-      if (acc > g.metric) {
-        g.metric = acc;
+      if (acc[p] > g.metric) {
+        g.metric = acc[p];
         g.phase = p;
       }
     }
@@ -174,17 +220,43 @@ Gen1AcqResult Gen1Receiver::acquire_on_mf(const RealVec& mf, const Gen1Transmitt
   return result;
 }
 
+namespace {
+
+/// Double-waveform entry points stage through the receiver's float arena:
+/// one converting pass, then the single-precision pipeline.
+void to_float_arena(const RealWaveform& rx, dsp::AlignedVec<float>& arena) {
+  arena.resize(rx.size());
+  const RealVec& s = rx.samples();
+  for (std::size_t i = 0; i < s.size(); ++i) arena[i] = static_cast<float>(s[i]);
+}
+
+}  // namespace
+
 Gen1AcqResult Gen1Receiver::acquire(const RealWaveform& rx, const Gen1Transmitter& tx,
                                     Rng& rng) {
-  const RealVec mf = digitize_and_filter(rx, tx, rng);
+  to_float_arena(rx, ws_rx_);
+  return acquire({ws_rx_.data(), ws_rx_.size()}, rx.sample_rate(), tx, rng);
+}
+
+Gen1AcqResult Gen1Receiver::acquire(std::span<const float> rx, double fs,
+                                    const Gen1Transmitter& tx, Rng& rng) {
+  const std::span<const float> mf = digitize_and_filter(rx.data(), rx.size(), fs, tx, rng);
   return acquire_on_mf(mf, tx);
 }
 
 Gen1RxResult Gen1Receiver::receive(const RealWaveform& rx, const Gen1Transmitter& tx,
                                    const TxFrame& tx_reference, const Gen1RxOptions& options,
                                    Rng& rng) {
+  to_float_arena(rx, ws_rx_);
+  return receive({ws_rx_.data(), ws_rx_.size()}, rx.sample_rate(), tx, tx_reference,
+                 options, rng);
+}
+
+Gen1RxResult Gen1Receiver::receive(std::span<const float> rx, double fs,
+                                   const Gen1Transmitter& tx, const TxFrame& tx_reference,
+                                   const Gen1RxOptions& options, Rng& rng) {
   Gen1RxResult result;
-  const RealVec mf = digitize_and_filter(rx, tx, rng);
+  const std::span<const float> mf = digitize_and_filter(rx.data(), rx.size(), fs, tx, rng);
   const std::size_t F = config_.frame_samples_adc;
 
   std::size_t preamble_start = 0;

@@ -15,11 +15,14 @@
 /// Modeled sync time = dwells1 * K1 * Tf + dwells2 * 127 * Tf, the real-time
 /// cost of a streaming architecture with that much correlator hardware.
 
+#include <span>
+
 #include "adc/flash_adc.h"
 #include "adc/sampling.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "common/waveform.h"
+#include "dsp/aligned.h"
 #include "txrx/transceiver_config.h"
 #include "txrx/transmitter.h"
 
@@ -59,7 +62,17 @@ class Gen1Receiver {
   [[nodiscard]] const Gen1Config& config() const noexcept { return config_; }
 
   /// Full receive: sample, convert, matched-filter, acquire, despread.
+  /// Converts into the float sample arena once, then runs the
+  /// single-precision pipeline below.
   [[nodiscard]] Gen1RxResult receive(const RealWaveform& rx, const Gen1Transmitter& tx,
+                                     const TxFrame& tx_reference,
+                                     const Gen1RxOptions& options, Rng& rng);
+
+  /// Hot-path receive over the caller's float sample arena at rate \p fs
+  /// (the sparse-channel link path lands here without ever building a
+  /// double waveform).
+  [[nodiscard]] Gen1RxResult receive(std::span<const float> rx, double fs,
+                                     const Gen1Transmitter& tx,
                                      const TxFrame& tx_reference,
                                      const Gen1RxOptions& options, Rng& rng);
 
@@ -68,18 +81,39 @@ class Gen1Receiver {
   [[nodiscard]] Gen1AcqResult acquire(const RealWaveform& rx, const Gen1Transmitter& tx,
                                       Rng& rng);
 
+  /// Float-arena acquisition (see the receive overload above).
+  [[nodiscard]] Gen1AcqResult acquire(std::span<const float> rx, double fs,
+                                      const Gen1Transmitter& tx, Rng& rng);
+
  private:
   /// Analog band-limiting + sampling + interleaved conversion + matched
-  /// filtering.
-  [[nodiscard]] RealVec digitize_and_filter(const RealWaveform& rx,
-                                            const Gen1Transmitter& tx, Rng& rng);
+  /// filtering, entirely in single precision. The returned span views
+  /// ws_mf_, valid until the next call on this receiver.
+  [[nodiscard]] std::span<const float> digitize_and_filter(const float* rx, std::size_t n,
+                                                           double fs, const Gen1Transmitter& tx,
+                                                           Rng& rng);
 
-  [[nodiscard]] Gen1AcqResult acquire_on_mf(const RealVec& mf, const Gen1Transmitter& tx) const;
+  [[nodiscard]] Gen1AcqResult acquire_on_mf(std::span<const float> mf,
+                                            const Gen1Transmitter& tx) const;
 
   Gen1Config config_;
   adc::SampleAndHold sampler_;
   adc::TimeInterleavedAdc adc_;
   RealVec anti_alias_taps_;
+  RealVec lane_skews_s_;  ///< static per-lane skews, built once at construction
+
+  // Per-receiver sample arena: every stage of digitize_and_filter writes
+  // into one of these 64-byte-aligned grow-only buffers, so steady-state
+  // packet processing performs zero heap allocations. Single precision:
+  // the modeled front end is a 4-bit converter behind an AGC, so float's
+  // 24-bit mantissa is ~20 bits beyond the physics while doubling SIMD
+  // width through the filter/sampler/converter/matched-filter chain.
+  dsp::AlignedVec<float> ws_rx_;        ///< double->float staging for waveform callers
+  dsp::AlignedVec<float> ws_filtered_;
+  dsp::AlignedVec<float> ws_sampled_;
+  dsp::AlignedVec<float> ws_levels_;
+  dsp::AlignedVec<float> ws_mf_;
+  mutable dsp::AlignedVec<float> ws_acq_;  ///< stage-1 phase accumulators
 };
 
 }  // namespace uwb::txrx

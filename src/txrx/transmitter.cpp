@@ -27,7 +27,7 @@ Gen1Transmitter::Gen1Transmitter(const Gen1Config& config)
   pulse_taps_adc_ = pulse::gaussian_monocycle(config_.pulse_sigma_s, config_.adc_rate).samples();
 }
 
-std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload) const {
+Gen1Train Gen1Transmitter::transmit_train(const BitVec& payload) const {
   const phy::FramedPacket pkt = framer_.frame(payload);
 
   // Data section = SFD + header + payload(+CRC), each bit spread over
@@ -36,32 +36,26 @@ std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload
   data_bits.insert(data_bits.end(), pkt.header.begin(), pkt.header.end());
   data_bits.insert(data_bits.end(), pkt.payload.begin(), pkt.payload.end());
 
-  // Slot list: pulse-level PN preamble first, then the spread data bits.
-  std::vector<pulse::PulseSlot> slots;
-  slots.reserve(preamble_frames() +
-                data_bits.size() * static_cast<std::size_t>(config_.pulses_per_bit));
+  // Slot amplitudes: pulse-level PN preamble first, then the spread data
+  // bits. Every slot sits on the PRF grid (no PPM offsets at gen-1).
+  Gen1Train train;
+  train.amplitudes.reserve(preamble_frames() +
+                           data_bits.size() * static_cast<std::size_t>(config_.pulses_per_bit));
   for (int rep = 0; rep < config_.preamble_repetitions; ++rep) {
     for (double chip : pn_chips_) {
-      slots.push_back(pulse::PulseSlot{chip, 0.0});
+      train.amplitudes.push_back(chip);
     }
   }
   for (auto b : data_bits) {
     const double w = b ? -1.0 : 1.0;
     for (int k = 0; k < config_.pulses_per_bit; ++k) {
-      slots.push_back(
-          pulse::PulseSlot{w * spread_[static_cast<std::size_t>(k) % spread_.size()], 0.0});
+      train.amplitudes.push_back(w * spread_[static_cast<std::size_t>(k) % spread_.size()]);
     }
   }
 
-  pulse::PulseTrainSpec spec;
-  spec.prf_hz = config_.prf_hz();
-  spec.pulses_per_bit = config_.pulses_per_bit;
-  spec.sample_rate_hz = config_.analog_fs;
-  RealWaveform wave = pulse::build_train(pulse_, slots, spec);
-
-  TxFrame frame;
+  TxFrame& frame = train.frame;
   frame.payload = payload;
-  frame.frame_bits = data_bits;
+  frame.frame_bits = std::move(data_bits);
   frame.preamble_bits = preamble_frames();
   frame.sfd_bits = pkt.sfd.size();
   frame.samples_per_bit =
@@ -72,7 +66,22 @@ std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload
   frame.overhead_symbols = pkt.sfd.size() + pkt.header.size();
   frame.payload_symbols = pkt.payload.size();
   frame.body_bits = pkt.payload.size();
-  return {std::move(wave), std::move(frame)};
+  return train;
+}
+
+std::pair<RealWaveform, TxFrame> Gen1Transmitter::transmit(const BitVec& payload) const {
+  Gen1Train train = transmit_train(payload);
+
+  std::vector<pulse::PulseSlot> slots;
+  slots.reserve(train.amplitudes.size());
+  for (double a : train.amplitudes) slots.push_back(pulse::PulseSlot{a, 0.0});
+
+  pulse::PulseTrainSpec spec;
+  spec.prf_hz = config_.prf_hz();
+  spec.pulses_per_bit = config_.pulses_per_bit;
+  spec.sample_rate_hz = config_.analog_fs;
+  RealWaveform wave = pulse::build_train(pulse_, slots, spec);
+  return {std::move(wave), std::move(train.frame)};
 }
 
 // ---------------------------------------------------------------- Gen-2 ----

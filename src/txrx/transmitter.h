@@ -31,6 +31,18 @@ struct TxFrame {
   std::size_t body_bits = 0;         ///< payload + CRC bits (excl. pad)
 };
 
+/// A gen-1 packet's pulse train in sparse form: the per-slot amplitude
+/// sequence on the PRF grid (slot k fires at k * frame_samples_analog())
+/// plus the TxFrame bookkeeping. The gen-1 waveform is ~98% zeros -- a few
+/// dozen monocycle samples per ~1300-sample frame -- so the fast channel
+/// path consumes this directly (y = sum_k a_k * g[n - k*frame] with
+/// g = prototype convolved with the CIR) without ever synthesizing the
+/// dense waveform. build from Gen1Transmitter::transmit_train.
+struct Gen1Train {
+  std::vector<double> amplitudes;  ///< slot weights, one per PRF frame
+  TxFrame frame;
+};
+
 /// Generation-1 baseband transmitter: pulse-level PN preamble followed by a
 /// PN-spread data section (see Gen1Config's preamble note).
 class Gen1Transmitter {
@@ -44,6 +56,11 @@ class Gen1Transmitter {
   /// (SFD + header + payload + CRC); TxFrame::preamble_bits counts the
   /// pulse-level preamble chips.
   [[nodiscard]] std::pair<RealWaveform, TxFrame> transmit(const BitVec& payload) const;
+
+  /// Frames \p payload into the sparse slot-amplitude form; transmit() is
+  /// exactly build_train over these slots, so the two views describe the
+  /// same on-air signal.
+  [[nodiscard]] Gen1Train transmit_train(const BitVec& payload) const;
 
   /// The spreading chip sequence (+/-1) applied across the pulses of a bit.
   [[nodiscard]] const std::vector<double>& spread_chips() const noexcept { return spread_; }

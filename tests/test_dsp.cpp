@@ -145,13 +145,97 @@ TEST(FftPlan, RejectsBadSizes) {
   EXPECT_THROW(fft_plan(64).forward(wrong), InvalidArgument);
 }
 
-// -------------------------------------------------- fft convolve dispatch ----
+// ----------------------------------------------------------- real-input fft ----
 
 RealVec random_real(Rng& rng, std::size_t n) {
   RealVec v(n);
   for (auto& x : v) x = rng.gaussian();
   return v;
 }
+
+TEST(Rfft, MatchesComplexFftHalfSpectrum) {
+  // Power-of-two, odd, prime-factor and tiny sizes: the helpers zero-pad to
+  // the next power of two exactly like the complex fft() free function, so
+  // the half spectrum must match the complex transform bin for bin.
+  Rng rng(50);
+  for (std::size_t n : {2ul, 4ul, 8ul, 17ul, 96ul, 97ul, 255ul, 1024ul, 4096ul}) {
+    const RealVec x = random_real(rng, n);
+    const CplxVec full = fft(x);
+    const CplxVec half = rfft(x);
+    ASSERT_EQ(half.size(), full.size() / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      ASSERT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Rfft, EmptyInputGivesEmptySpectrum) {
+  EXPECT_TRUE(rfft(RealVec{}).empty());
+  EXPECT_TRUE(irfft(CplxVec{}).empty());
+}
+
+TEST(Rfft, RoundTripIsExactToRounding) {
+  Rng rng(51);
+  for (std::size_t n : {2ul, 8ul, 64ul, 1000ul, 2048ul}) {
+    const RealVec x = random_real(rng, n);
+    const RealVec back = irfft(rfft(x), n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(back[i], x[i], 1e-12) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Rfft, ParsevalHoldsOnHalfSpectrum) {
+  Rng rng(52);
+  const std::size_t n = 512;
+  const RealVec x = random_real(rng, n);
+  const CplxVec half = rfft(x);
+  // Energy of the implied full spectrum: interior bins count twice.
+  double freq_energy = std::norm(half.front()) + std::norm(half.back());
+  for (std::size_t k = 1; k + 1 < half.size(); ++k) freq_energy += 2.0 * std::norm(half[k]);
+  double time_energy = 0.0;
+  for (double v : x) time_energy += v * v;
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9 * time_energy);
+}
+
+TEST(Rfft, EnergyConservedThroughChannelConvolution) {
+  // End-to-end energy bookkeeping on the path the receiver actually uses:
+  // convolve a real waveform with a channel-like impulse response, then
+  // check that the output's time-domain energy matches the Parseval sum
+  // over its rfft half spectrum. Guards the real-input convolution path
+  // against scaling bugs in either direction of the transform.
+  Rng rng(53);
+  const RealVec x = random_real(rng, 700);
+  RealVec h(61);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    // Exponentially decaying multipath-style taps.
+    h[i] = rng.gaussian() * std::exp(-0.08 * static_cast<double>(i));
+  }
+  const RealVec y = fft_convolve(x, h);
+  ASSERT_EQ(y.size(), x.size() + h.size() - 1);
+
+  double time_energy = 0.0;
+  for (double v : y) time_energy += v * v;
+
+  const CplxVec half = rfft(y);
+  const std::size_t n_fft = next_pow2(y.size());
+  double freq_energy = std::norm(half.front()) + std::norm(half.back());
+  for (std::size_t k = 1; k + 1 < half.size(); ++k) freq_energy += 2.0 * std::norm(half[k]);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n_fft), time_energy, 1e-9 * time_energy);
+}
+
+TEST(Rfft, PlanCacheSharesPlans) {
+  const RfftPlan& a = rfft_plan(256);
+  const RfftPlan& b = rfft_plan(256);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 256u);
+  EXPECT_EQ(a.bins(), 129u);
+  EXPECT_THROW(rfft_plan(48), InvalidArgument);
+  EXPECT_THROW(rfft_plan(1), InvalidArgument);
+}
+
+// -------------------------------------------------- fft convolve dispatch ----
 
 CplxVec random_cplx(Rng& rng, std::size_t n) {
   CplxVec v(n);

@@ -332,6 +332,79 @@ TEST(SweepEngine, OneWorkerAndManyWorkersAreByteIdentical) {
   EXPECT_NE(j1.find("\"ber\""), std::string::npos);
 }
 
+TEST(SweepEngine, BatchedSweepIsByteIdenticalAcrossBatchSizesAndWorkers) {
+  // The batched-pipeline determinism contract (engine/parallel_ber.h):
+  // batch size and worker count are execution granularity only, so every
+  // (B, workers) combination must serialize the reference document byte
+  // for byte. Fresh-draw scenario here; the ensemble-mode (grouped
+  // realization) variant is covered below.
+  const ScenarioSpec scenario = tiny_scenario();
+
+  std::string reference;
+  for (const std::size_t batch : {1u, 4u, 16u}) {
+    for (const std::size_t workers : {1u, 8u}) {
+      SweepConfig config;
+      config.seed = 0x5EED;
+      config.workers = workers;
+      config.batch_size = batch;
+      config.stop = tiny_stop();
+      const std::string path = "test_results/sweep_b" + std::to_string(batch) + "_w" +
+                               std::to_string(workers) + ".json";
+      JsonSink json(path);
+      const SweepResult result = SweepEngine(config).run(scenario, {&json});
+      ASSERT_EQ(result.records.size(), scenario.points.size());
+      const std::string bytes = slurp(path);
+      ASSERT_FALSE(bytes.empty());
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        SCOPED_TRACE("batch=" + std::to_string(batch) +
+                     " workers=" + std::to_string(workers));
+        EXPECT_EQ(bytes, reference);
+      }
+    }
+  }
+}
+
+TEST(SweepEngine, BatchedEnsembleSweepIsByteIdentical) {
+  // Ensemble mode exercises PacketBatch's realization grouping: trials of
+  // one claim that share a cached CIR run back-to-back, which must not
+  // change a byte of the document either.
+  txrx::TrialOptions options;
+  options.payload_bits = 64;
+  options.genie_timing = true;
+  options.cm = 1;
+  options.channel_source.mode = txrx::ChannelSource::Mode::kEnsemble;
+  options.channel_source.ensemble_count = 3;  // < batch, so batches group
+  Gen2ScenarioBuilder builder("batched_ensemble", sim::gen2_fast(), options);
+  builder.ebn0_grid({6.0});
+  const ScenarioSpec scenario = builder.build();
+
+  std::string reference;
+  for (const std::size_t batch : {1u, 8u}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      SweepConfig config;
+      config.seed = 0xE45;
+      config.workers = workers;
+      config.batch_size = batch;
+      config.stop = tiny_stop();
+      const std::string path = "test_results/ens_b" + std::to_string(batch) + "_w" +
+                               std::to_string(workers) + ".json";
+      JsonSink json(path);
+      (void)SweepEngine(config).run(scenario, {&json});
+      const std::string bytes = slurp(path);
+      ASSERT_FALSE(bytes.empty());
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        SCOPED_TRACE("batch=" + std::to_string(batch) +
+                     " workers=" + std::to_string(workers));
+        EXPECT_EQ(bytes, reference);
+      }
+    }
+  }
+}
+
 /// FNV-1a digest of a sweep's serialized bytes -- the pinned-seed
 /// fingerprint the determinism tests compare across configurations.
 uint64_t fnv1a(const std::string& bytes) {

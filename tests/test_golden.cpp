@@ -27,21 +27,21 @@ namespace {
 /// (or unpinned scenario) prints the "{name, 0x...}" line to paste here.
 const std::map<std::string, std::uint64_t>& pinned_digests() {
   static const std::map<std::string, std::uint64_t> digests = {
-      {"gen1_acquisition", 0xfbbd379838d5045cULL},
+      {"gen1_acquisition", 0xaccdc93331fdad58ULL},
       {"gen1_sync", 0xac70559d82b1baf3ULL},
-      {"gen1_waterfall", 0x39e080bc2eb6862fULL},
-      {"gen2_adc_resolution", 0x26706ec01a1f337bULL},
-      {"gen2_backend_ladder", 0x48d784cc56958fffULL},
-      {"gen2_chanest_precision", 0xde846333f40a633dULL},
-      {"gen2_cm_grid", 0xcca047a5e17666a0ULL},
-      {"gen2_cm_grid_deep", 0x99784c4afb6dd524ULL},
-      {"gen2_interferer_notch", 0xbfd69c47604dc8a4ULL},
-      {"gen2_mlse_isi", 0x5f10d5a830aff464ULL},
-      {"gen2_mlse_memory", 0x2b90358851bde0a4ULL},
-      {"gen2_modulation", 0x9aa71e4a8f8f5fa0ULL},
-      {"gen2_pulse_shape", 0x36fbcbade24bba8dULL},
-      {"gen2_rake_fingers", 0x499fb8e2e97d23e4ULL},
-      {"gen2_spectral_monitor", 0x33dee236f90b04b1ULL},
+      {"gen1_waterfall", 0x9a129a65d2c5639dULL},
+      {"gen2_adc_resolution", 0x40faaba8624dfa30ULL},
+      {"gen2_backend_ladder", 0xbed3ba9865c46b5ULL},
+      {"gen2_chanest_precision", 0x13a3e1287a9f2286ULL},
+      {"gen2_cm_grid", 0xc288267e8d2a3140ULL},
+      {"gen2_cm_grid_deep", 0xfe3b8474ae8cf997ULL},
+      {"gen2_interferer_notch", 0x623d20dcc08fb2f6ULL},
+      {"gen2_mlse_isi", 0xbfa3f7f65343e9f6ULL},
+      {"gen2_mlse_memory", 0x2a7027faed740270ULL},
+      {"gen2_modulation", 0x9bccab44525b6e58ULL},
+      {"gen2_pulse_shape", 0xb183c906fc05984cULL},
+      {"gen2_rake_fingers", 0x6bfe21b21d54f259ULL},
+      {"gen2_spectral_monitor", 0x39f231253ba15284ULL},
   };
   return digests;
 }

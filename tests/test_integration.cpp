@@ -78,8 +78,11 @@ TEST(Integration, RakeBeatsSingleFingerUnderMultipath) {
 
   Gen2Link rake_link(rake_config, 0x2001);
   Gen2Link mf_link(mf_config, 0x2001);  // same seed: same channels
-  const BerPoint with_rake = run_gen2(rake_link, options, 25, 100000);
-  const BerPoint without = run_gen2(mf_link, options, 25, 100000);
+  // The 20% margin needs a real error budget: at ~25 errors the two BER
+  // estimates are noisy enough that an unlucky channel draw can close the
+  // gap (the asymptotic RAKE advantage here is ~3-4x).
+  const BerPoint with_rake = run_gen2(rake_link, options, 120, 500000);
+  const BerPoint without = run_gen2(mf_link, options, 120, 500000);
   EXPECT_LT(with_rake.ber, without.ber * 0.8)
       << "rake=" << with_rake.ber << " single=" << without.ber;
 }

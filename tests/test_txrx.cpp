@@ -9,6 +9,9 @@
 #include "channel/awgn.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
+#include "channel/saleh_valenzuela.h"
+#include "dsp/fast_convolve.h"
+#include "dsp/fir_filter.h"
 #include "dsp/power_spectrum.h"
 #include "sim/scenario.h"
 #include "txrx/link.h"
@@ -63,6 +66,111 @@ TEST(Gen1Transmitter, PreambleChipsAreAntipodal) {
     EXPECT_TRUE(c == 1.0 || c == -1.0);
   }
   EXPECT_EQ(tx.preamble_frames(), 254u);  // 2 repetitions
+}
+
+TEST(Gen1Transmitter, SparseTrainDescribesTheDenseWaveform) {
+  // transmit_train and transmit must be two views of the same signal:
+  // summing shifted prototype copies over the slot amplitudes rebuilds the
+  // dense waveform exactly.
+  const Gen1Config config = sim::gen1_fast();
+  const Gen1Transmitter tx(config);
+  Rng rng(7);
+  const BitVec payload = rng.bits(32);
+  auto [wave, frame] = tx.transmit(payload);
+  const Gen1Train train = tx.transmit_train(payload);
+
+  ASSERT_EQ(train.frame.frame_bits, frame.frame_bits);
+  EXPECT_EQ(train.frame.energy_per_bit, frame.energy_per_bit);
+  ASSERT_EQ(train.amplitudes.size(),
+            frame.preamble_bits + frame.frame_bits.size() *
+                                      static_cast<std::size_t>(config.pulses_per_bit));
+
+  const RealVec& proto = tx.prototype().samples();
+  const std::size_t frame_samples = config.frame_samples_analog();
+  RealVec dense(frame_samples * train.amplitudes.size() + proto.size(), 0.0);
+  for (std::size_t s = 0; s < train.amplitudes.size(); ++s) {
+    for (std::size_t i = 0; i < proto.size(); ++i) {
+      dense[s * frame_samples + i] += train.amplitudes[s] * proto[i];
+    }
+  }
+  ASSERT_EQ(dense.size(), wave.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    ASSERT_EQ(dense[i], wave[i]) << "sample " << i;
+  }
+}
+
+TEST(Gen1Link, SparseChannelPathMatchesDenseConvolution) {
+  // The fast multipath path applies the channel as shift-adds of the
+  // composite kernel g = prototype (x) CIR; convolution distributes over
+  // the slot sum, so it must equal the dense cir.apply_real to rounding.
+  const Gen1Config config = sim::gen1_fast();
+  const Gen1Transmitter tx(config);
+  Rng rng(11);
+  const BitVec payload = rng.bits(32);
+  auto [wave, frame] = tx.transmit(payload);
+  const Gen1Train train = tx.transmit_train(payload);
+
+  channel::SvParams params = channel::cm_by_index(3);
+  params.complex_phases = false;
+  const channel::Cir cir = channel::SalehValenzuela(params).realize(rng);
+
+  const dsp::FastConvolveGuard guard(false);  // exact direct reference
+  const RealWaveform dense = cir.apply_real(wave);
+
+  const CplxVec hc = cir.sampled(config.analog_fs);
+  RealVec hr(hc.size());
+  for (std::size_t i = 0; i < hc.size(); ++i) hr[i] = hc[i].real();
+  const RealVec g = dsp::convolve(tx.prototype().samples(), hr);
+
+  const std::size_t frame_samples = config.frame_samples_analog();
+  RealVec sparse(frame_samples * train.amplitudes.size() + g.size(), 0.0);
+  for (std::size_t s = 0; s < train.amplitudes.size(); ++s) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      sparse[s * frame_samples + i] += train.amplitudes[s] * g[i];
+    }
+  }
+  ASSERT_EQ(sparse.size(), dense.size());
+  double peak = 0.0;
+  for (double v : sparse) peak = std::max(peak, std::abs(v));
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    ASSERT_NEAR(sparse[i], dense[i], 1e-9 * std::max(1.0, peak)) << "sample " << i;
+  }
+}
+
+TEST(Gen1Link, PacketOutcomeAgreesAcrossChannelPolicy) {
+  // End to end across the channel policy: the fast path runs the sparse
+  // scatter + single-precision arena, the direct path the dense double
+  // waveform. Their noise realizations differ by design (the float arena
+  // runs a dedicated single-precision sampler), so per-trial agreement at
+  // operating Eb/N0 is no longer defined. At 40 dB the noise is decades
+  // below every decision margin on both paths, so the bit decisions are a
+  // function of the pre-noise waveform alone -- which the two paths build
+  // equivalently (same trial Rng, same channel realization, float vs
+  // double rounding) -- and the error counts, channel-induced errors
+  // included, must match exactly. The waveform-level equivalence of the
+  // sparse channel math is pinned by SparseChannelPathMatchesDenseConvolution.
+  const Gen1Config config = sim::gen1_fast();
+  TrialOptions options = default_options(Generation::kGen1);
+  options.cm = 3;
+  options.ebn0_db = 40.0;
+  for (uint64_t trial = 0; trial < 3; ++trial) {
+    Gen1Link fast_link(config, 99);
+    Gen1Link slow_link(config, 99);
+    Rng root(1234);
+    Rng rng_fast = root.fork(trial);
+    Rng rng_slow = root.fork(trial);
+    TrialResult fast, slow;
+    {
+      const dsp::FastConvolveGuard guard(true);
+      fast = fast_link.run_packet(options, rng_fast);
+    }
+    {
+      const dsp::FastConvolveGuard guard(false);
+      slow = slow_link.run_packet(options, rng_slow);
+    }
+    EXPECT_EQ(fast.bits, slow.bits) << "trial " << trial;
+    EXPECT_EQ(fast.errors, slow.errors) << "trial " << trial;
+  }
 }
 
 TEST(Gen2Transmitter, FrameLayoutBpsk) {
